@@ -1,0 +1,54 @@
+// Reproduces Fig. 8 of the paper: Table storage Insert / Query / Update /
+// Delete time vs. workers, one series per entity size (4..64 KB). Each
+// worker works on 500 entities in its own partition; updates are
+// unconditional (ETag "*"); ServerBusy is retried after a 1 s sleep.
+//
+// Flags: --workers=N, --entities=N, --quick, --csv.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/table_benchmark.hpp"
+
+int main(int argc, char** argv) {
+  const auto sweep = benchutil::worker_sweep(argc, argv);
+  const int entities = static_cast<int>(benchutil::flag_int(
+      argc, argv, "--entities",
+      benchutil::flag_set(argc, argv, "--quick") ? 100 : 500));
+  const bool csv = benchutil::flag_set(argc, argv, "--csv");
+
+  std::printf(
+      "AzureBench Fig. 8 — Table storage operations vs. workers\n"
+      "%d entities per worker per phase; per-phase times in seconds\n\n",
+      entities);
+
+  benchutil::Table table({"workers", "size_KB", "insert_s", "query_s",
+                          "update_s", "delete_s", "busy_retries"});
+
+  for (const int workers : sweep) {
+    azurebench::TableBenchConfig cfg;
+    cfg.workers = workers;
+    cfg.entities = entities;
+    const auto r = azurebench::run_table_benchmark(cfg);
+    bool first = true;
+    for (const auto& p : r.points) {
+      table.add_row({std::to_string(workers),
+                     std::to_string(p.entity_size / 1024),
+                     benchutil::fmt(p.insert.seconds),
+                     benchutil::fmt(p.query.seconds),
+                     benchutil::fmt(p.update.seconds),
+                     benchutil::fmt(p.erase.seconds),
+                     first ? std::to_string(r.server_busy_retries) : ""});
+      first = false;
+    }
+  }
+  if (csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    std::printf(
+        "\nPaper shapes: times near-constant through ~4 workers; for 32/64 "
+        "KB entities\nthe times rise drastically with workers; Update is the "
+        "most expensive\noperation and Query the cheapest.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks of the DES kernel itself: host-side cost
+// of event dispatch, coroutine processes, resources, and flow limiters.
+// These bound how fast the figure benches can simulate the cloud.
+#include <benchmark/benchmark.h>
+
+#include "simcore/rate_limiter.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/sync.hpp"
+#include "simcore/task.hpp"
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < events; ++i) {
+      s.schedule_at(i, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventDispatch)->Arg(1'000)->Arg(100'000);
+
+sim::Task<void> delay_loop(sim::Simulation& s, int n) {
+  for (int i = 0; i < n; ++i) co_await s.delay(sim::millis(1));
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  const int delays = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.spawn(delay_loop(s, delays));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * delays);
+}
+BENCHMARK(BM_CoroutineDelays)->Arg(10'000);
+
+sim::Task<void> contend(sim::Simulation& s, sim::Resource& r, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto lease = co_await r.acquire();
+    co_await s.delay(sim::micros(10));
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kOpsPerWorker = 100;
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Resource r(s, 4);
+    for (int w = 0; w < workers; ++w) s.spawn(contend(s, r, kOpsPerWorker));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kOpsPerWorker);
+}
+BENCHMARK(BM_ResourceContention)->Arg(8)->Arg(96);
+
+sim::Task<void> flow(sim::FlowLimiter& l, int n) {
+  for (int i = 0; i < n; ++i) co_await l.acquire(1024.0);
+}
+
+void BM_FlowLimiter(benchmark::State& state) {
+  constexpr int kOps = 10'000;
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::FlowLimiter limiter(s, 1e6);
+    s.spawn(flow(limiter, kOps));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOps);
+}
+BENCHMARK(BM_FlowLimiter);
+
+sim::Task<void> wait_gate(sim::Gate& g) { co_await g.wait(); }
+
+void BM_GateBroadcast(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Gate gate(s);
+    for (int i = 0; i < waiters; ++i) s.spawn(wait_gate(gate));
+    s.schedule_at(1, [&gate] { gate.set(); });
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_GateBroadcast)->Arg(1'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

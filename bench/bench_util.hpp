@@ -1,0 +1,98 @@
+// Shared helpers for the figure-reproduction benchmark binaries: a tiny
+// flag parser and fixed-width table / CSV emitters.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// Returns the value of `--name=value`, or `fallback`.
+inline std::int64_t flag_int(int argc, char** argv, const char* name,
+                             std::int64_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Returns true when `--name` is present.
+inline bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Worker-count sweep: the paper scales "up to 100 processors".
+inline std::vector<int> worker_sweep(int argc, char** argv) {
+  if (const std::int64_t w = flag_int(argc, argv, "--workers", 0); w > 0) {
+    return {static_cast<int>(w)};
+  }
+  if (flag_set(argc, argv, "--quick")) return {1, 4, 16, 48, 96};
+  return {1, 2, 4, 8, 16, 32, 48, 64, 80, 96};
+}
+
+/// Fixed-width table row printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      rule += (c + 1 < width.size()) ? "-+-" : "";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+  void print_csv() const {
+    print_csv_row(headers_);
+    for (const auto& row : rows_) print_csv_row(row);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                  (c + 1 < row.size()) ? " | " : "\n");
+    }
+  }
+  static void print_csv_row(const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", row[c].c_str(), (c + 1 < row.size()) ? "," : "\n");
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace benchutil

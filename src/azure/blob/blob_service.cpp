@@ -1,0 +1,543 @@
+#include "azure/blob/blob_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace azure {
+namespace {
+
+namespace lim = azure::limits;
+
+/// Slice [from, from+len) out of a payload, preserving synthetic-ness.
+Payload payload_slice(const Payload& p, std::int64_t from, std::int64_t len) {
+  assert(from >= 0 && len >= 0 && from + len <= p.size());
+  if (p.is_synthetic() || p.size() == 0) return Payload::synthetic(len);
+  return Payload::bytes(p.data().substr(static_cast<std::size_t>(from),
+                                        static_cast<std::size_t>(len)));
+}
+
+}  // namespace
+
+BlobService::BlobRuntime::BlobRuntime(sim::Simulation& sim,
+                                      const BlobServiceConfig& cfg,
+                                      int replicas)
+    : write_stream(sim, cfg.blob_write_bytes_per_sec, /*burst=*/64 * 1024.0),
+      block_index(sim, 1) {
+  const int streams = cfg.replica_reads ? replicas : 1;
+  read_streams.reserve(static_cast<std::size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    read_streams.push_back(std::make_unique<sim::FlowLimiter>(
+        sim, cfg.replica_read_bytes_per_sec, /*burst=*/64 * 1024.0));
+  }
+}
+
+// ------------------------------------------------------------ containers ----
+
+sim::Task<void> BlobService::metadata_op(netsim::Nic& client,
+                                         std::uint64_t part_hash, bool write) {
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = 256;
+  cost.server_cpu = cfg_.metadata_cpu;
+  cost.replicate = write;
+  cost.disk_bytes = write ? 512 : 0;
+  co_await cluster_.execute(client, part_hash, cost);
+}
+
+sim::Task<void> BlobService::create_container(netsim::Nic& client,
+                                              std::string container) {
+  co_await metadata_op(client, cluster::partition_hash(container), true);
+  auto [it, inserted] = containers_.try_emplace(container);
+  if (!inserted) {
+    throw ConflictError("container already exists: " + container);
+  }
+}
+
+sim::Task<void> BlobService::create_container_if_not_exists(
+    netsim::Nic& client, std::string container) {
+  co_await metadata_op(client, cluster::partition_hash(container), true);
+  containers_.try_emplace(container);
+}
+
+sim::Task<void> BlobService::delete_container(netsim::Nic& client,
+                                              std::string container) {
+  co_await metadata_op(client, cluster::partition_hash(container), true);
+  if (containers_.erase(container) == 0) {
+    throw NotFoundError("container not found: " + container);
+  }
+}
+
+sim::Task<bool> BlobService::container_exists(netsim::Nic& client,
+                                              std::string container) {
+  co_await metadata_op(client, cluster::partition_hash(container), false);
+  co_return containers_.count(container) > 0;
+}
+
+sim::Task<std::vector<std::string>> BlobService::list_blobs(
+    netsim::Nic& client, std::string container) {
+  co_await metadata_op(client, cluster::partition_hash(container), false);
+  auto& c = require_container(container);
+  std::vector<std::string> names;
+  names.reserve(c.blobs.size());
+  for (const auto& [name, blob] : c.blobs) names.push_back(name);
+  co_return names;
+}
+
+// -------------------------------------------------------- shared helpers ----
+
+BlobService::Container& BlobService::require_container(
+    std::string container) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw NotFoundError("container not found: " + container);
+  }
+  return it->second;
+}
+
+BlobService::BlobData& BlobService::require_blob(
+    std::string container, std::string name,
+    BlobProperties::Kind expected_kind) {
+  auto& c = require_container(container);
+  auto it = c.blobs.find(name);
+  if (it == c.blobs.end()) {
+    throw NotFoundError("blob not found: " + container + "/" + name);
+  }
+  if (it->second.kind != expected_kind) {
+    throw InvalidArgumentError("blob kind mismatch for " + container + "/" +
+                               name);
+  }
+  return it->second;
+}
+
+BlobService::BlobData& BlobService::make_blob(std::string container,
+                                              std::string name,
+                                              BlobProperties::Kind kind) {
+  auto& c = require_container(container);
+  BlobData& blob = c.blobs[name];
+  blob.kind = kind;
+  blob.etag = next_etag();
+  if (!blob.rt) {
+    blob.rt = std::make_unique<BlobRuntime>(cluster_.simulation(), cfg_,
+                                            cluster_.config().replicas);
+  }
+  return blob;
+}
+
+sim::Task<int> BlobService::read_stream_acquire(BlobData& blob,
+                                                double amount) {
+  const int idx = blob.rt->next_read++ %
+                  static_cast<int>(blob.rt->read_streams.size());
+  co_await blob.rt->read_streams[static_cast<std::size_t>(idx)]->acquire(
+      amount);
+  co_return idx;
+}
+
+sim::Task<void> BlobService::chunk_read(netsim::Nic& client, BlobData& blob,
+                                        std::uint64_t part_hash,
+                                        std::int64_t bytes,
+                                        sim::Duration extra_overhead) {
+  // The chunk occupies the serving replica's stream for the payload time
+  // plus the per-chunk server work (index walk, range assembly).
+  const double overhead_bytes =
+      cfg_.replica_read_bytes_per_sec * sim::to_seconds(extra_overhead);
+  co_await read_stream_acquire(blob,
+                               static_cast<double>(bytes) + overhead_bytes);
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = bytes;
+  cost.server_cpu = cfg_.read_cpu;
+  co_await cluster_.execute(client, part_hash, cost);
+}
+
+// ------------------------------------------------------------ block blob ----
+
+sim::Task<void> BlobService::upload_block_blob(netsim::Nic& client,
+                                               std::string container,
+                                               std::string name,
+                                               Payload data) {
+  if (data.size() > lim::kMaxSingleShotUploadBytes) {
+    throw InvalidArgumentError(
+        "block blobs over 64 MB must be uploaded as blocks");
+  }
+  require_container(container);
+  BlobData& blob = make_blob(container, name, BlobProperties::Kind::kBlock);
+  co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  cluster::RequestCost cost;
+  cost.request_bytes = data.size();
+  cost.disk_bytes = data.size();
+  cost.server_cpu = cfg_.write_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(container, name), cost);
+  blob.committed.clear();
+  blob.committed_size = data.size();
+  blob.committed.push_back(BlockInfo{"<single-shot>", std::move(data)});
+  blob.uncommitted.clear();
+  blob.etag = next_etag();
+}
+
+sim::Task<void> BlobService::put_block(netsim::Nic& client,
+                                       std::string container,
+                                       std::string name,
+                                       std::string block_id,
+                                       Payload data) {
+  if (data.size() > lim::kMaxBlockBytes) {
+    throw InvalidArgumentError("block exceeds 4 MB");
+  }
+  if (data.size() <= 0) {
+    throw InvalidArgumentError("block must not be empty");
+  }
+  require_container(container);
+  BlobData& blob = make_blob(container, name, BlobProperties::Kind::kBlock);
+  co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  cluster::RequestCost cost;
+  cost.request_bytes = data.size();
+  cost.disk_bytes = data.size();
+  cost.server_cpu = cfg_.write_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(container, name), cost);
+  {
+    // Appending to the blob's block index is serialized per blob — this is
+    // what caps concurrent PutBlock ingest below the page-blob path.
+    auto lease = co_await blob.rt->block_index.acquire();
+    co_await cluster_.simulation().delay(cfg_.block_commit_time);
+  }
+  blob.uncommitted[block_id] = std::move(data);
+}
+
+sim::Task<void> BlobService::put_block_list(
+    netsim::Nic& client, std::string container, std::string name,
+    std::vector<std::string> block_ids) {
+  if (static_cast<int>(block_ids.size()) > lim::kMaxBlocksPerBlob) {
+    throw InvalidArgumentError("more than 50,000 blocks in block list");
+  }
+  require_container(container);
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
+
+  // Resolve ids against uncommitted blocks first, then committed ones
+  // (matching the service's "latest uncommitted wins" rule).
+  std::vector<BlockInfo> new_committed;
+  new_committed.reserve(block_ids.size());
+  std::int64_t total = 0;
+  for (const auto& id : block_ids) {
+    if (auto it = blob.uncommitted.find(id); it != blob.uncommitted.end()) {
+      total += it->second.size();
+      new_committed.push_back(BlockInfo{id, it->second});
+      continue;
+    }
+    auto cit = std::find_if(blob.committed.begin(), blob.committed.end(),
+                            [&](const BlockInfo& b) { return b.id == id; });
+    if (cit == blob.committed.end()) {
+      throw InvalidArgumentError("unknown block id in block list: " + id);
+    }
+    total += cit->data.size();
+    new_committed.push_back(*cit);
+  }
+  if (total > lim::kMaxBlockBlobBytes) {
+    throw InvalidArgumentError("block blob exceeds 200 GB");
+  }
+
+  cluster::RequestCost cost;
+  cost.request_bytes = 64 * static_cast<std::int64_t>(block_ids.size());
+  cost.disk_bytes = 1024;
+  cost.server_cpu =
+      cfg_.write_cpu + static_cast<sim::Duration>(block_ids.size()) *
+                           cfg_.block_list_per_block;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(container, name), cost);
+
+  blob.committed = std::move(new_committed);
+  blob.committed_size = total;
+  blob.uncommitted.clear();
+  blob.etag = next_etag();
+}
+
+sim::Task<Payload> BlobService::get_block(netsim::Nic& client,
+                                          std::string container,
+                                          std::string name, int index) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
+  if (index < 0 || index >= static_cast<int>(blob.committed.size())) {
+    throw InvalidArgumentError("block index out of range");
+  }
+  const Payload data = blob.committed[static_cast<std::size_t>(index)].data;
+  co_await chunk_read(client, blob, hash(container, name), data.size(),
+                      cfg_.chunk_read_overhead);
+  co_return data;
+}
+
+sim::Task<Payload> BlobService::download_block_blob(
+    netsim::Nic& client, std::string container,
+    std::string name) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
+  const std::int64_t total = blob.committed_size;
+  co_await read_stream_acquire(blob, static_cast<double>(total));
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = total;
+  cost.server_cpu = cfg_.read_cpu;
+  co_await cluster_.execute(client, hash(container, name), cost);
+
+  // Assemble the content: synthetic unless any block carries real bytes.
+  bool any_real = false;
+  for (const auto& b : blob.committed) {
+    if (!b.data.is_synthetic() && b.data.size() > 0) any_real = true;
+  }
+  if (!any_real) co_return Payload::synthetic(total);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(total));
+  for (const auto& b : blob.committed) {
+    if (b.data.is_synthetic()) {
+      out.append(static_cast<std::size_t>(b.data.size()), '\0');
+    } else {
+      out.append(b.data.data());
+    }
+  }
+  co_return Payload::bytes(std::move(out));
+}
+
+sim::Task<Payload> BlobService::download_range(netsim::Nic& client,
+                                               std::string container,
+                                               std::string name,
+                                               std::int64_t offset,
+                                               std::int64_t length) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
+  if (offset < 0 || length <= 0 || offset + length > blob.committed_size) {
+    throw InvalidArgumentError("range read outside committed content");
+  }
+  co_await chunk_read(client, blob, hash(container, name), length,
+                      cfg_.chunk_read_overhead);
+
+  // Assemble the range across committed block boundaries.
+  bool any_real = false;
+  std::string out;
+  std::int64_t cursor = 0;
+  for (const auto& b : blob.committed) {
+    const std::int64_t bstart = cursor;
+    const std::int64_t bend = cursor + b.data.size();
+    cursor = bend;
+    const std::int64_t from = std::max(bstart, offset);
+    const std::int64_t to = std::min(bend, offset + length);
+    if (from >= to) continue;
+    if (b.data.is_synthetic()) {
+      out.append(static_cast<std::size_t>(to - from), '\0');
+    } else {
+      any_real = true;
+      out.append(b.data.data(), static_cast<std::size_t>(from - bstart),
+                 static_cast<std::size_t>(to - from));
+    }
+  }
+  if (!any_real) co_return Payload::synthetic(length);
+  co_return Payload::bytes(std::move(out));
+}
+
+sim::Task<BlobService::BlockListing> BlobService::get_block_list(
+    netsim::Nic& client, std::string container, std::string name) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
+  co_await metadata_op(client, hash(container, name), false);
+  BlockListing listing;
+  listing.committed.reserve(blob.committed.size());
+  for (const auto& b : blob.committed) {
+    listing.committed.push_back(BlockDescriptor{b.id, b.data.size()});
+  }
+  listing.uncommitted.reserve(blob.uncommitted.size());
+  for (const auto& [id, data] : blob.uncommitted) {
+    listing.uncommitted.push_back(BlockDescriptor{id, data.size()});
+  }
+  co_return listing;
+}
+
+// ------------------------------------------------------------- page blob ----
+
+sim::Task<void> BlobService::create_page_blob(netsim::Nic& client,
+                                              std::string container,
+                                              std::string name,
+                                              std::int64_t max_size) {
+  if (max_size <= 0 || max_size > lim::kMaxPageBlobBytes) {
+    throw InvalidArgumentError("page blob size must be in (0, 1 TB]");
+  }
+  if (max_size % lim::kPageAlignment != 0) {
+    throw InvalidArgumentError("page blob size must be 512-aligned");
+  }
+  require_container(container);
+  co_await metadata_op(client, hash(container, name), true);
+  BlobData& blob = make_blob(container, name, BlobProperties::Kind::kPage);
+  blob.page_max_size = max_size;
+  blob.pages.clear();
+  blob.page_extent = 0;
+}
+
+sim::Task<void> BlobService::put_page(netsim::Nic& client,
+                                      std::string container,
+                                      std::string name,
+                                      std::int64_t offset, Payload data) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
+  if (offset % lim::kPageAlignment != 0 ||
+      data.size() % lim::kPageAlignment != 0) {
+    throw InvalidArgumentError("page writes must be 512-aligned");
+  }
+  if (data.size() <= 0 || data.size() > lim::kMaxPageWriteBytes) {
+    throw InvalidArgumentError("page write must be in (0, 4 MB]");
+  }
+  if (offset < 0 || offset + data.size() > blob.page_max_size) {
+    throw InvalidArgumentError("page write beyond blob size");
+  }
+
+  co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  cluster::RequestCost cost;
+  cost.request_bytes = data.size();
+  cost.disk_bytes = data.size();
+  cost.server_cpu = cfg_.write_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(container, name), cost);
+
+  // Overlap resolution: trim/split any existing ranges under [lo, hi).
+  const std::int64_t lo = offset;
+  const std::int64_t hi = offset + data.size();
+  auto it = blob.pages.lower_bound(lo);
+  if (it != blob.pages.begin()) {
+    auto prev = std::prev(it);
+    const std::int64_t pend = prev->first + prev->second.size();
+    if (pend > lo) {
+      // prev overlaps from the left: keep its prefix, maybe its suffix.
+      Payload whole = std::move(prev->second);
+      const std::int64_t pstart = prev->first;
+      blob.pages.erase(prev);
+      blob.pages[pstart] = payload_slice(whole, 0, lo - pstart);
+      if (pend > hi) {
+        blob.pages[hi] = payload_slice(whole, hi - pstart, pend - hi);
+      }
+    }
+  }
+  it = blob.pages.lower_bound(lo);
+  while (it != blob.pages.end() && it->first < hi) {
+    const std::int64_t pstart = it->first;
+    const std::int64_t pend = pstart + it->second.size();
+    if (pend <= hi) {
+      it = blob.pages.erase(it);
+    } else {
+      Payload whole = std::move(it->second);
+      blob.pages.erase(it);
+      blob.pages[hi] = payload_slice(whole, hi - pstart, pend - hi);
+      break;
+    }
+  }
+  blob.page_extent = std::max(blob.page_extent, hi);
+  blob.pages[lo] = std::move(data);
+  blob.etag = next_etag();
+}
+
+sim::Task<Payload> BlobService::get_page(netsim::Nic& client,
+                                         std::string container,
+                                         std::string name,
+                                         std::int64_t offset,
+                                         std::int64_t length, bool random) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
+  if (offset < 0 || length <= 0 || offset + length > blob.page_max_size) {
+    throw InvalidArgumentError("page read out of range");
+  }
+  const sim::Duration overhead =
+      cfg_.chunk_read_overhead + (random ? cfg_.page_lookup_overhead : 0);
+  co_await chunk_read(client, blob, hash(container, name), length, overhead);
+
+  // Assemble [offset, offset+length): zero-fill unwritten gaps.
+  bool any_real = false;
+  auto it = blob.pages.upper_bound(offset);
+  if (it != blob.pages.begin()) --it;
+  for (auto scan = it;
+       scan != blob.pages.end() && scan->first < offset + length; ++scan) {
+    if (!scan->second.is_synthetic() && scan->second.size() > 0 &&
+        scan->first + scan->second.size() > offset) {
+      any_real = true;
+    }
+  }
+  if (!any_real) co_return Payload::synthetic(length);
+
+  std::string out(static_cast<std::size_t>(length), '\0');
+  for (auto scan = it;
+       scan != blob.pages.end() && scan->first < offset + length; ++scan) {
+    const std::int64_t pstart = scan->first;
+    const std::int64_t pend = pstart + scan->second.size();
+    const std::int64_t from = std::max(pstart, offset);
+    const std::int64_t to = std::min(pend, offset + length);
+    if (from >= to || scan->second.is_synthetic()) continue;
+    out.replace(static_cast<std::size_t>(from - offset),
+                static_cast<std::size_t>(to - from), scan->second.data(),
+                static_cast<std::size_t>(from - pstart),
+                static_cast<std::size_t>(to - from));
+  }
+  co_return Payload::bytes(std::move(out));
+}
+
+sim::Task<Payload> BlobService::download_page_blob(
+    netsim::Nic& client, std::string container,
+    std::string name) {
+  BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
+  const std::int64_t extent = blob.page_extent;
+  const double effective =
+      static_cast<double>(extent) / cfg_.page_stream_factor;
+  co_await read_stream_acquire(blob, effective);
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = extent;
+  cost.server_cpu = cfg_.read_cpu;
+  co_await cluster_.execute(client, hash(container, name), cost);
+  if (extent == 0) co_return Payload{};
+  bool any_real = false;
+  for (const auto& [off, p] : blob.pages) {
+    (void)off;
+    if (!p.is_synthetic() && p.size() > 0) any_real = true;
+  }
+  if (!any_real) co_return Payload::synthetic(extent);
+  std::string out(static_cast<std::size_t>(extent), '\0');
+  for (const auto& [off, p] : blob.pages) {
+    if (p.is_synthetic()) continue;
+    out.replace(static_cast<std::size_t>(off),
+                static_cast<std::size_t>(p.size()), p.data());
+  }
+  co_return Payload::bytes(std::move(out));
+}
+
+// --------------------------------------------------------------- generic ----
+
+sim::Task<void> BlobService::delete_blob(netsim::Nic& client,
+                                         std::string container,
+                                         std::string name) {
+  co_await metadata_op(client, hash(container, name), true);
+  auto& c = require_container(container);
+  if (c.blobs.erase(name) == 0) {
+    throw NotFoundError("blob not found: " + container + "/" + name);
+  }
+}
+
+sim::Task<bool> BlobService::blob_exists(netsim::Nic& client,
+                                         std::string container,
+                                         std::string name) {
+  co_await metadata_op(client, hash(container, name), false);
+  auto it = containers_.find(container);
+  co_return it != containers_.end() && it->second.blobs.count(name) > 0;
+}
+
+sim::Task<BlobProperties> BlobService::get_properties(
+    netsim::Nic& client, std::string container,
+    std::string name) {
+  co_await metadata_op(client, hash(container, name), false);
+  auto& c = require_container(container);
+  auto it = c.blobs.find(name);
+  if (it == c.blobs.end()) {
+    throw NotFoundError("blob not found: " + container + "/" + name);
+  }
+  const BlobData& b = it->second;
+  BlobProperties props;
+  props.kind = b.kind;
+  props.etag = b.etag;
+  if (b.kind == BlobProperties::Kind::kBlock) {
+    props.size = b.committed_size;
+    props.content_length = b.committed_size;
+    props.committed_blocks = static_cast<int>(b.committed.size());
+  } else {
+    props.size = b.page_max_size;
+    props.content_length = b.page_extent;
+  }
+  co_return props;
+}
+
+}  // namespace azure

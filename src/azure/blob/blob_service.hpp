@@ -1,0 +1,246 @@
+// Server-side Blob storage service: containers, block blobs and page blobs,
+// with the documented 2011/2012 semantics and limits.
+//
+// Timing model highlights (see DESIGN.md §4):
+//  * every blob has a 60 MB/s write stream at its partition server;
+//  * committed data is replicated 3x, and *reads* are served round-robin by
+//    the replicas, so aggregate read bandwidth of a hot blob approaches
+//    3 x 60 MB/s (the paper measures 165 MB/s at 96 workers);
+//  * staging a block (PutBlock) appends to the blob's block index — a
+//    serialized per-blob operation that caps block-blob ingest well below
+//    the page-blob path (the paper measures ~21 vs ~60 MB/s);
+//  * chunk-wise reads (GetBlock / random GetPage) occupy the serving
+//    replica's stream for a fixed overhead on top of the payload time;
+//    random page access additionally pays a page-index lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "azure/common/errors.hpp"
+#include "azure/common/limits.hpp"
+#include "azure/common/payload.hpp"
+#include "cluster/hash.hpp"
+#include "cluster/storage_cluster.hpp"
+#include "netsim/nic.hpp"
+#include "simcore/rate_limiter.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/task.hpp"
+
+namespace azure {
+
+struct BlobServiceConfig {
+  /// Per-blob write stream bandwidth ("The throughput of a blob is up to
+  /// 60 MB per second").
+  double blob_write_bytes_per_sec = 60.0 * 1024 * 1024;
+
+  /// Read bandwidth of each replica's stream of a given blob.
+  double replica_read_bytes_per_sec = 60.0 * 1024 * 1024;
+
+  /// Whether reads are spread over all replicas (ablation knob; turning
+  /// this off collapses download saturation to one stream's bandwidth).
+  bool replica_reads = true;
+
+  /// Serialized per-blob block-index append paid by every staged block.
+  sim::Duration block_commit_time = sim::millis(44);
+
+  /// PutBlockList commit cost per listed block.
+  sim::Duration block_list_per_block = sim::micros(200);
+
+  /// Server work per chunk-wise read (GetBlock / GetPage), occupying the
+  /// serving replica's stream.
+  sim::Duration chunk_read_overhead = sim::millis(12);
+
+  /// Additional page-index lookup for *random* page reads.
+  sim::Duration page_lookup_overhead = sim::millis(14);
+
+  /// Relative streaming efficiency of page blobs on full-blob reads
+  /// (sparse page maps stream slightly worse than packed block lists).
+  double page_stream_factor = 0.92;
+
+  /// Fixed CPU costs.
+  sim::Duration write_cpu = sim::micros(500);
+  sim::Duration read_cpu = sim::micros(300);
+  sim::Duration metadata_cpu = sim::micros(300);
+};
+
+/// Blob properties snapshot returned to clients.
+struct BlobProperties {
+  enum class Kind { kBlock, kPage };
+  Kind kind = Kind::kBlock;
+  std::int64_t size = 0;       // committed size (pages: max size)
+  std::int64_t content_length = 0;  // pages: highest written byte
+  std::string etag;
+  int committed_blocks = 0;
+};
+
+class BlobService {
+ public:
+  BlobService(cluster::StorageCluster& cluster, const BlobServiceConfig& cfg)
+      : cluster_(cluster), cfg_(cfg) {}
+
+  const BlobServiceConfig& config() const noexcept { return cfg_; }
+
+  // ----------------------------------------------------------- containers --
+  sim::Task<void> create_container(netsim::Nic& client,
+                                   std::string container);
+  sim::Task<void> create_container_if_not_exists(netsim::Nic& client,
+                                                 std::string container);
+  sim::Task<void> delete_container(netsim::Nic& client,
+                                   std::string container);
+  sim::Task<bool> container_exists(netsim::Nic& client,
+                                   std::string container);
+  sim::Task<std::vector<std::string>> list_blobs(netsim::Nic& client,
+                                                 std::string container);
+
+  // ---------------------------------------------------------- block blobs --
+  /// Single-shot upload (<= 64 MB). Replaces any existing blob.
+  sim::Task<void> upload_block_blob(netsim::Nic& client,
+                                    std::string container,
+                                    std::string name, Payload data);
+
+  /// Stages one block (<= 4 MB). Uncommitted until PutBlockList.
+  sim::Task<void> put_block(netsim::Nic& client, std::string container,
+                            std::string name,
+                            std::string block_id, Payload data);
+
+  /// Commits the listed blocks, in order, as the blob's content.
+  sim::Task<void> put_block_list(netsim::Nic& client,
+                                 std::string container,
+                                 std::string name,
+                                 std::vector<std::string> block_ids);
+
+  /// Reads the index-th committed block (the paper reads blocks
+  /// sequentially, "one block at a time").
+  sim::Task<Payload> get_block(netsim::Nic& client,
+                               std::string container,
+                               std::string name, int index);
+
+  /// Downloads the full committed content (BlockBlob.DownloadText()).
+  sim::Task<Payload> download_block_blob(netsim::Nic& client,
+                                         std::string container,
+                                         std::string name);
+
+  /// Downloads an arbitrary byte range of the committed content.
+  sim::Task<Payload> download_range(netsim::Nic& client,
+                                    std::string container, std::string name,
+                                    std::int64_t offset, std::int64_t length);
+
+  /// One block's id and size, as returned by GetBlockList.
+  struct BlockDescriptor {
+    std::string id;
+    std::int64_t size;
+  };
+  struct BlockListing {
+    std::vector<BlockDescriptor> committed;
+    std::vector<BlockDescriptor> uncommitted;
+  };
+  /// Lists the committed and uncommitted blocks of a block blob.
+  sim::Task<BlockListing> get_block_list(netsim::Nic& client,
+                                         std::string container,
+                                         std::string name);
+
+  // ----------------------------------------------------------- page blobs --
+  /// Creates (and zero-initializes) a page blob of the given maximum size.
+  sim::Task<void> create_page_blob(netsim::Nic& client,
+                                   std::string container,
+                                   std::string name,
+                                   std::int64_t max_size);
+
+  /// Writes pages at a 512-aligned offset (<= 4 MB per call).
+  sim::Task<void> put_page(netsim::Nic& client, std::string container,
+                           std::string name, std::int64_t offset,
+                           Payload data);
+
+  /// Random-access page read (pays the page-index lookup when `random` —
+  /// the paper's benchmark reads pages at random offsets).
+  sim::Task<Payload> get_page(netsim::Nic& client,
+                              std::string container,
+                              std::string name, std::int64_t offset,
+                              std::int64_t length, bool random = true);
+
+  /// Streams the full written extent (PageBlob.openRead()).
+  sim::Task<Payload> download_page_blob(netsim::Nic& client,
+                                        std::string container,
+                                        std::string name);
+
+  // -------------------------------------------------------------- generic --
+  sim::Task<void> delete_blob(netsim::Nic& client,
+                              std::string container,
+                              std::string name);
+  sim::Task<bool> blob_exists(netsim::Nic& client,
+                              std::string container,
+                              std::string name);
+  sim::Task<BlobProperties> get_properties(netsim::Nic& client,
+                                           std::string container,
+                                           std::string name);
+
+ private:
+  struct BlockInfo {
+    std::string id;
+    Payload data;
+  };
+
+  /// Per-blob contended runtime state (write stream, block index, replica
+  /// read streams).
+  struct BlobRuntime {
+    BlobRuntime(sim::Simulation& sim, const BlobServiceConfig& cfg,
+                int replicas);
+    sim::FlowLimiter write_stream;
+    sim::Resource block_index;  // capacity 1: serialized index appends
+    std::vector<std::unique_ptr<sim::FlowLimiter>> read_streams;
+    int next_read = 0;
+  };
+
+  struct BlobData {
+    BlobProperties::Kind kind = BlobProperties::Kind::kBlock;
+    std::string etag;
+    // Block blob state.
+    std::vector<BlockInfo> committed;
+    std::map<std::string, Payload> uncommitted;
+    std::int64_t committed_size = 0;
+    // Page blob state: offset -> written range. Ranges never overlap.
+    std::int64_t page_max_size = 0;
+    std::map<std::int64_t, Payload> pages;
+    std::int64_t page_extent = 0;  // highest written byte + 1
+    std::unique_ptr<BlobRuntime> rt;
+  };
+
+  struct Container {
+    std::map<std::string, BlobData> blobs;
+  };
+
+  BlobData& require_blob(std::string container,
+                         std::string name,
+                         BlobProperties::Kind expected_kind);
+  Container& require_container(std::string container);
+  BlobData& make_blob(std::string container, std::string name,
+                      BlobProperties::Kind kind);
+  std::string next_etag() { return "0x" + std::to_string(++etag_counter_); }
+  std::uint64_t hash(std::string container,
+                     std::string name) const {
+    return cluster::partition_hash(container, name);
+  }
+
+  /// Acquires the next replica read stream for `amount` effective bytes.
+  sim::Task<int> read_stream_acquire(BlobData& blob, double amount);
+
+  /// Chunk-wise read core shared by get_block/get_page.
+  sim::Task<void> chunk_read(netsim::Nic& client, BlobData& blob,
+                             std::uint64_t part_hash, std::int64_t bytes,
+                             sim::Duration extra_overhead);
+
+  /// Simple metadata request (create/delete/exists/list).
+  sim::Task<void> metadata_op(netsim::Nic& client, std::uint64_t part_hash,
+                              bool write);
+
+  cluster::StorageCluster& cluster_;
+  BlobServiceConfig cfg_;
+  std::map<std::string, Container> containers_;
+  std::uint64_t etag_counter_ = 0;
+};
+
+}  // namespace azure

@@ -1,0 +1,428 @@
+// Client-side SDK facade, mirroring the Windows Azure storage client
+// library's object model:
+//
+//   CloudStorageAccount account(env, nic);
+//   auto blobs  = account.create_cloud_blob_client();
+//   auto queues = account.create_cloud_queue_client();
+//   auto tables = account.create_cloud_table_client();
+//
+//   auto container = blobs.get_container_reference("data");
+//   co_await container.create_if_not_exists();
+//   auto blob = container.get_block_blob_reference("results");
+//   co_await blob.upload_text(Payload::bytes("hello"));
+//
+// Every operation is a sim::Task awaited from a simulated process; timing
+// and throttling come from the service + cluster models underneath.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "azure/environment.hpp"
+#include "netsim/nic.hpp"
+
+namespace azure {
+
+class CloudBlobClient;
+class CloudBlobContainer;
+class CloudBlockBlob;
+class CloudPageBlob;
+class CloudQueueClient;
+class CloudQueue;
+class CloudTableClient;
+class CloudTable;
+class CloudCacheClient;
+class CloudCache;
+
+/// A client endpoint bound to one storage account (one CloudEnvironment)
+/// and one NIC (the VM instance the code runs on).
+class CloudStorageAccount {
+ public:
+  CloudStorageAccount(CloudEnvironment& env, netsim::Nic& nic)
+      : env_(&env), nic_(&nic) {}
+
+  CloudBlobClient create_cloud_blob_client() const;
+  CloudQueueClient create_cloud_queue_client() const;
+  CloudTableClient create_cloud_table_client() const;
+  CloudCacheClient create_cloud_cache_client() const;
+
+  CloudEnvironment& environment() const noexcept { return *env_; }
+  netsim::Nic& nic() const noexcept { return *nic_; }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+};
+
+// ------------------------------------------------------------------ blob ----
+
+class CloudBlockBlob {
+ public:
+  CloudBlockBlob(CloudEnvironment& env, netsim::Nic& nic,
+                 std::string container, std::string name)
+      : env_(&env),
+        nic_(&nic),
+        container_(std::move(container)),
+        name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Single-shot upload (<= 64 MB).
+  sim::Task<void> upload_text(Payload data) {
+    return env_->blob_service().upload_block_blob(*nic_, container_, name_,
+                                                  std::move(data));
+  }
+  sim::Task<void> put_block(const std::string& block_id, Payload data) {
+    return env_->blob_service().put_block(*nic_, container_, name_, block_id,
+                                          std::move(data));
+  }
+  sim::Task<void> put_block_list(const std::vector<std::string>& ids) {
+    return env_->blob_service().put_block_list(*nic_, container_, name_, ids);
+  }
+  sim::Task<Payload> get_block(int index) {
+    return env_->blob_service().get_block(*nic_, container_, name_, index);
+  }
+  /// Full download (BlockBlob.DownloadText() in the paper's pseudocode).
+  sim::Task<Payload> download_text() {
+    return env_->blob_service().download_block_blob(*nic_, container_, name_);
+  }
+  /// Range download of the committed content.
+  sim::Task<Payload> download_range(std::int64_t offset, std::int64_t length) {
+    return env_->blob_service().download_range(*nic_, container_, name_,
+                                               offset, length);
+  }
+  /// Lists committed and uncommitted blocks.
+  sim::Task<BlobService::BlockListing> download_block_list() {
+    return env_->blob_service().get_block_list(*nic_, container_, name_);
+  }
+  sim::Task<void> delete_blob() {
+    return env_->blob_service().delete_blob(*nic_, container_, name_);
+  }
+  sim::Task<bool> exists() {
+    return env_->blob_service().blob_exists(*nic_, container_, name_);
+  }
+  sim::Task<BlobProperties> get_properties() {
+    return env_->blob_service().get_properties(*nic_, container_, name_);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string container_;
+  std::string name_;
+};
+
+class CloudPageBlob {
+ public:
+  CloudPageBlob(CloudEnvironment& env, netsim::Nic& nic, std::string container,
+                std::string name)
+      : env_(&env),
+        nic_(&nic),
+        container_(std::move(container)),
+        name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Creates the page blob with a fixed maximum size (<= 1 TB).
+  sim::Task<void> create(std::int64_t max_size) {
+    return env_->blob_service().create_page_blob(*nic_, container_, name_,
+                                                 max_size);
+  }
+  sim::Task<void> put_page(std::int64_t offset, Payload data) {
+    return env_->blob_service().put_page(*nic_, container_, name_, offset,
+                                         std::move(data));
+  }
+  /// Random-access page read.
+  sim::Task<Payload> get_page(std::int64_t offset, std::int64_t length,
+                              bool random = true) {
+    return env_->blob_service().get_page(*nic_, container_, name_, offset,
+                                         length, random);
+  }
+  /// Full streaming download (PageBlob.openRead() in the paper).
+  sim::Task<Payload> open_read() {
+    return env_->blob_service().download_page_blob(*nic_, container_, name_);
+  }
+  sim::Task<void> delete_blob() {
+    return env_->blob_service().delete_blob(*nic_, container_, name_);
+  }
+  sim::Task<bool> exists() {
+    return env_->blob_service().blob_exists(*nic_, container_, name_);
+  }
+  sim::Task<BlobProperties> get_properties() {
+    return env_->blob_service().get_properties(*nic_, container_, name_);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string container_;
+  std::string name_;
+};
+
+class CloudBlobContainer {
+ public:
+  CloudBlobContainer(CloudEnvironment& env, netsim::Nic& nic, std::string name)
+      : env_(&env), nic_(&nic), name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  sim::Task<void> create() {
+    return env_->blob_service().create_container(*nic_, name_);
+  }
+  sim::Task<void> create_if_not_exists() {
+    return env_->blob_service().create_container_if_not_exists(*nic_, name_);
+  }
+  sim::Task<void> delete_container() {
+    return env_->blob_service().delete_container(*nic_, name_);
+  }
+  sim::Task<bool> exists() {
+    return env_->blob_service().container_exists(*nic_, name_);
+  }
+  sim::Task<std::vector<std::string>> list_blobs() {
+    return env_->blob_service().list_blobs(*nic_, name_);
+  }
+
+  CloudBlockBlob get_block_blob_reference(const std::string& blob) const {
+    return CloudBlockBlob(*env_, *nic_, name_, blob);
+  }
+  CloudPageBlob get_page_blob_reference(const std::string& blob) const {
+    return CloudPageBlob(*env_, *nic_, name_, blob);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string name_;
+};
+
+class CloudBlobClient {
+ public:
+  CloudBlobClient(CloudEnvironment& env, netsim::Nic& nic)
+      : env_(&env), nic_(&nic) {}
+
+  CloudBlobContainer get_container_reference(const std::string& name) const {
+    return CloudBlobContainer(*env_, *nic_, name);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+};
+
+// ----------------------------------------------------------------- queue ----
+
+class CloudQueue {
+ public:
+  CloudQueue(CloudEnvironment& env, netsim::Nic& nic, std::string name)
+      : env_(&env), nic_(&nic), name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  sim::Task<void> create() {
+    return env_->queue_service().create_queue(*nic_, name_);
+  }
+  sim::Task<void> create_if_not_exists() {
+    return env_->queue_service().create_queue_if_not_exists(*nic_, name_);
+  }
+  sim::Task<void> delete_queue() {
+    return env_->queue_service().delete_queue(*nic_, name_);
+  }
+  sim::Task<bool> exists() {
+    return env_->queue_service().queue_exists(*nic_, name_);
+  }
+  sim::Task<void> clear() {
+    return env_->queue_service().clear_queue(*nic_, name_);
+  }
+  sim::Task<void> add_message(Payload body, sim::Duration ttl = 0) {
+    return env_->queue_service().put_message(*nic_, name_, std::move(body),
+                                             ttl);
+  }
+  sim::Task<std::optional<QueueMessage>> get_message(
+      sim::Duration visibility_timeout = 0) {
+    return env_->queue_service().get_message(*nic_, name_,
+                                             visibility_timeout);
+  }
+  sim::Task<std::optional<QueueMessage>> peek_message() {
+    return env_->queue_service().peek_message(*nic_, name_);
+  }
+  sim::Task<void> delete_message(const QueueMessage& msg) {
+    return env_->queue_service().delete_message(*nic_, name_, msg.id,
+                                                msg.pop_receipt);
+  }
+  /// Extends/changes a gotten message's visibility (and optionally its
+  /// content); returns the refreshed message with a new pop receipt.
+  sim::Task<QueueMessage> update_message(
+      const QueueMessage& msg, sim::Duration visibility_timeout,
+      std::optional<Payload> new_body = std::nullopt) {
+    return env_->queue_service().update_message(*nic_, name_, msg.id,
+                                                msg.pop_receipt,
+                                                visibility_timeout,
+                                                std::move(new_body));
+  }
+  /// ApproximateMessageCount.
+  sim::Task<std::int64_t> get_message_count() {
+    return env_->queue_service().get_message_count(*nic_, name_);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string name_;
+};
+
+class CloudQueueClient {
+ public:
+  CloudQueueClient(CloudEnvironment& env, netsim::Nic& nic)
+      : env_(&env), nic_(&nic) {}
+
+  CloudQueue get_queue_reference(const std::string& name) const {
+    return CloudQueue(*env_, *nic_, name);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+};
+
+// ----------------------------------------------------------------- table ----
+
+class CloudTable {
+ public:
+  CloudTable(CloudEnvironment& env, netsim::Nic& nic, std::string name)
+      : env_(&env), nic_(&nic), name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  sim::Task<void> create() {
+    return env_->table_service().create_table(*nic_, name_);
+  }
+  sim::Task<void> create_if_not_exists() {
+    return env_->table_service().create_table_if_not_exists(*nic_, name_);
+  }
+  sim::Task<void> delete_table() {
+    return env_->table_service().delete_table(*nic_, name_);
+  }
+  sim::Task<bool> exists() {
+    return env_->table_service().table_exists(*nic_, name_);
+  }
+  sim::Task<void> insert(TableEntity entity) {
+    return env_->table_service().insert(*nic_, name_, std::move(entity));
+  }
+  sim::Task<TableEntity> query(const std::string& partition_key,
+                               const std::string& row_key) {
+    return env_->table_service().query(*nic_, name_, partition_key, row_key);
+  }
+  sim::Task<std::vector<TableEntity>> query_partition(
+      const std::string& partition_key) {
+    return env_->table_service().query_partition(*nic_, name_, partition_key);
+  }
+  sim::Task<void> update(TableEntity entity,
+                         const std::string& if_match = "*") {
+    return env_->table_service().update(*nic_, name_, std::move(entity),
+                                        if_match);
+  }
+  sim::Task<void> insert_or_replace(TableEntity entity) {
+    return env_->table_service().insert_or_replace(*nic_, name_,
+                                                   std::move(entity));
+  }
+  sim::Task<void> merge(TableEntity entity,
+                        const std::string& if_match = "*") {
+    return env_->table_service().merge(*nic_, name_, std::move(entity),
+                                       if_match);
+  }
+  sim::Task<void> erase(const std::string& partition_key,
+                        const std::string& row_key,
+                        const std::string& if_match = "*") {
+    return env_->table_service().erase(*nic_, name_, partition_key, row_key,
+                                       if_match);
+  }
+  /// Executes an Entity Group Transaction (atomic same-partition batch).
+  sim::Task<void> execute_batch(TableBatch batch) {
+    return env_->table_service().execute_batch(*nic_, name_,
+                                               std::move(batch));
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string name_;
+};
+
+class CloudTableClient {
+ public:
+  CloudTableClient(CloudEnvironment& env, netsim::Nic& nic)
+      : env_(&env), nic_(&nic) {}
+
+  CloudTable get_table_reference(const std::string& name) const {
+    return CloudTable(*env_, *nic_, name);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+};
+
+// ----------------------------------------------------------------- cache ----
+
+/// A named distributed cache (AppFabric-style).
+class CloudCache {
+ public:
+  CloudCache(CloudEnvironment& env, netsim::Nic& nic, std::string name)
+      : env_(&env), nic_(&nic), name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  sim::Task<void> put(std::string key, Payload value, sim::Duration ttl = 0) {
+    return env_->cache_service().put(*nic_, name_, std::move(key),
+                                     std::move(value), ttl);
+  }
+  sim::Task<std::optional<Payload>> get(std::string key) {
+    return env_->cache_service().get(*nic_, name_, std::move(key));
+  }
+  sim::Task<bool> remove(std::string key) {
+    return env_->cache_service().remove(*nic_, name_, std::move(key));
+  }
+  CacheStats stats() const { return env_->cache_service().stats(name_); }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+  std::string name_;
+};
+
+class CloudCacheClient {
+ public:
+  CloudCacheClient(CloudEnvironment& env, netsim::Nic& nic)
+      : env_(&env), nic_(&nic) {}
+
+  CloudCache get_cache_reference(const std::string& name) const {
+    return CloudCache(*env_, *nic_, name);
+  }
+
+ private:
+  CloudEnvironment* env_;
+  netsim::Nic* nic_;
+};
+
+// ------------------------------------------------------------- account ----
+
+inline CloudBlobClient CloudStorageAccount::create_cloud_blob_client() const {
+  return CloudBlobClient(*env_, *nic_);
+}
+inline CloudQueueClient CloudStorageAccount::create_cloud_queue_client()
+    const {
+  return CloudQueueClient(*env_, *nic_);
+}
+inline CloudTableClient CloudStorageAccount::create_cloud_table_client()
+    const {
+  return CloudTableClient(*env_, *nic_);
+}
+inline CloudCacheClient CloudStorageAccount::create_cloud_cache_client()
+    const {
+  return CloudCacheClient(*env_, *nic_);
+}
+
+}  // namespace azure

@@ -1,0 +1,48 @@
+// Documented Windows Azure storage limits (2011/2012 APIs), as quoted in the
+// paper. These are *semantic* limits enforced by the services; the timing
+// model's tuning constants live in the per-service config structs.
+#pragma once
+
+#include <cstdint>
+
+namespace azure::limits {
+
+// ------------------------------------------------------------------ blob ----
+/// Maximum size of one block in a block blob.
+inline constexpr std::int64_t kMaxBlockBytes = 4ll * 1024 * 1024;
+/// Maximum number of blocks per block blob.
+inline constexpr int kMaxBlocksPerBlob = 50'000;
+/// Maximum block blob size (50,000 x 4 MB = 200 GB).
+inline constexpr std::int64_t kMaxBlockBlobBytes =
+    static_cast<std::int64_t>(kMaxBlocksPerBlob) * kMaxBlockBytes;
+/// Block blobs up to this size may be uploaded as a single entity.
+inline constexpr std::int64_t kMaxSingleShotUploadBytes = 64ll * 1024 * 1024;
+/// Maximum page blob size.
+inline constexpr std::int64_t kMaxPageBlobBytes = 1ll << 40;  // 1 TB
+/// Page offsets/lengths must align to this boundary.
+inline constexpr std::int64_t kPageAlignment = 512;
+/// Maximum bytes updated by a single PutPage call.
+inline constexpr std::int64_t kMaxPageWriteBytes = 4ll * 1024 * 1024;
+
+// ----------------------------------------------------------------- queue ----
+/// Maximum encoded message size ("64 KB since the October 2011 APIs").
+inline constexpr std::int64_t kMaxEncodedMessageBytes = 64 * 1024;
+/// Maximum usable message payload: "48 KB (49152 bytes to be precise) is the
+/// maximum usable size of an Azure queue message, rest of the message
+/// content is metadata".
+inline constexpr std::int64_t kMaxMessagePayloadBytes = 49'152;
+/// Messages not deleted within this TTL disappear ("a week; it used to be
+/// 2 hours for previous APIs").
+inline constexpr std::int64_t kMessageTtlSeconds = 7 * 24 * 3600;
+/// A single queue handles at most this many messages per second.
+inline constexpr std::int64_t kQueueMessagesPerSec = 500;
+
+// ----------------------------------------------------------------- table ----
+/// Maximum entity size.
+inline constexpr std::int64_t kMaxEntityBytes = 1024 * 1024;
+/// Maximum properties per entity (including the system properties).
+inline constexpr int kMaxPropertiesPerEntity = 255;
+/// A single table partition serves at most this many entities per second.
+inline constexpr std::int64_t kPartitionEntitiesPerSec = 500;
+
+}  // namespace azure::limits

@@ -1,0 +1,46 @@
+// Payload abstraction: either real bytes (for applications and roundtrip
+// tests) or a synthetic size-only payload (for benchmarks moving hundreds of
+// gigabytes of simulated data without host-memory traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace azure {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// A payload backed by real bytes.
+  static Payload bytes(std::string data) {
+    Payload p;
+    p.size_ = static_cast<std::int64_t>(data.size());
+    p.data_ = std::move(data);
+    return p;
+  }
+
+  /// A size-only payload: all limits and timing apply, no bytes are stored.
+  static Payload synthetic(std::int64_t size) {
+    Payload p;
+    p.size_ = size;
+    return p;
+  }
+
+  std::int64_t size() const noexcept { return size_; }
+  bool is_synthetic() const noexcept {
+    return data_.empty() && size_ > 0;
+  }
+  const std::string& data() const noexcept { return data_; }
+
+  bool operator==(const Payload& o) const noexcept {
+    return size_ == o.size_ && data_ == o.data_;
+  }
+
+ private:
+  std::int64_t size_ = 0;
+  std::string data_;
+};
+
+}  // namespace azure

@@ -1,0 +1,41 @@
+// Client-side retry policy. The paper's benchmarks handle ServerBusy by
+// sleeping one second and retrying the same operation ("when we run into
+// such exceptions, the worker sleeps for a second before retrying").
+#pragma once
+
+#include <utility>
+
+#include "azure/common/errors.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace azure {
+
+struct RetryPolicy {
+  sim::Duration backoff = sim::kSecond;
+  int max_attempts = 1'000;  // effectively "retry until it works"
+};
+
+/// Runs `make_op()` (a factory returning a fresh Task each attempt),
+/// retrying on ServerBusyError according to `policy`. Other errors
+/// propagate immediately. Rethrows ServerBusyError once attempts run out.
+template <class MakeOp>
+auto with_retry(sim::Simulation& sim, MakeOp make_op, RetryPolicy policy = {})
+    -> decltype(make_op()) {
+  int retries = 0;
+  for (;;) {
+    // co_await is not permitted inside a catch handler, so record the need
+    // to back off and do it after the handler exits.
+    bool backoff = false;
+    try {
+      co_return co_await make_op();
+    } catch (const ServerBusyError&) {
+      if (++retries >= policy.max_attempts) throw;
+      backoff = true;
+    }
+    if (backoff) co_await sim.delay(policy.backoff);
+  }
+}
+
+}  // namespace azure

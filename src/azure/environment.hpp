@@ -1,0 +1,58 @@
+// CloudEnvironment: one simulated Azure deployment — the storage cluster
+// plus the three storage services. Client code connects through
+// CloudStorageAccount (see cloud_storage_account.hpp).
+#pragma once
+
+#include "azure/blob/blob_service.hpp"
+#include "azure/cache/cache_service.hpp"
+#include "azure/queue/queue_service.hpp"
+#include "azure/sql/sql_service.hpp"
+#include "azure/table/table_service.hpp"
+#include "cluster/config.hpp"
+#include "cluster/storage_cluster.hpp"
+#include "simcore/simulation.hpp"
+
+namespace azure {
+
+struct CloudConfig {
+  cluster::ClusterConfig cluster;
+  BlobServiceConfig blob;
+  QueueServiceConfig queue;
+  TableServiceConfig table;
+  CacheServiceConfig cache;
+  sql::SqlServiceConfig sql;
+};
+
+class CloudEnvironment {
+ public:
+  explicit CloudEnvironment(sim::Simulation& sim, const CloudConfig& cfg = {})
+      : sim_(sim),
+        cluster_(sim, cfg.cluster),
+        blob_(cluster_, cfg.blob),
+        queue_(cluster_, cfg.queue),
+        table_(cluster_, cfg.table),
+        cache_(sim, cluster_.network(), cfg.cache),
+        sql_(sim, cluster_.network(), cfg.sql) {}
+
+  CloudEnvironment(const CloudEnvironment&) = delete;
+  CloudEnvironment& operator=(const CloudEnvironment&) = delete;
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+  cluster::StorageCluster& storage_cluster() noexcept { return cluster_; }
+  BlobService& blob_service() noexcept { return blob_; }
+  QueueService& queue_service() noexcept { return queue_; }
+  TableService& table_service() noexcept { return table_; }
+  CacheService& cache_service() noexcept { return cache_; }
+  sql::SqlService& sql_service() noexcept { return sql_; }
+
+ private:
+  sim::Simulation& sim_;
+  cluster::StorageCluster cluster_;
+  BlobService blob_;
+  QueueService queue_;
+  TableService table_;
+  CacheService cache_;
+  sql::SqlService sql_;
+};
+
+}  // namespace azure

@@ -1,0 +1,336 @@
+#include "azure/queue/queue_service.hpp"
+
+#include <algorithm>
+
+namespace azure {
+namespace lim = azure::limits;
+
+// --------------------------------------------------------------- helpers ----
+
+QueueService::QueueData& QueueService::require_queue(std::string name) {
+  auto it = queues_.find(name);
+  if (it == queues_.end()) {
+    throw NotFoundError("queue not found: " + name);
+  }
+  return *it->second;
+}
+
+void QueueService::admit(QueueData& q, std::string name) {
+  if (!q.throttle.try_consume()) {
+    throw ServerBusyError("queue '" + name +
+                          "' exceeded 500 messages per second");
+  }
+}
+
+void QueueService::expire(QueueData& q) {
+  const sim::TimePoint now = cluster_.simulation().now();
+  std::erase_if(q.messages, [now](const StoredMessage& m) {
+    return m.expiration_time <= now;
+  });
+}
+
+std::size_t QueueService::pick_visible(QueueData& q) {
+  const sim::TimePoint now = cluster_.simulation().now();
+  std::size_t first = q.messages.size();
+  std::size_t second = q.messages.size();
+  for (std::size_t i = 0; i < q.messages.size(); ++i) {
+    if (q.messages[i].visible_from <= now) {
+      if (first == q.messages.size()) {
+        first = i;
+      } else {
+        second = i;
+        break;
+      }
+    }
+  }
+  if (first == q.messages.size()) return first;
+  if (second != q.messages.size() &&
+      rng_.next_double() < cfg_.fifo_violation_probability) {
+    return second;  // FIFO is not guaranteed
+  }
+  return first;
+}
+
+sim::Task<void> QueueService::metadata_op(netsim::Nic& client,
+                                          std::uint64_t part_hash,
+                                          bool write) {
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = 256;
+  cost.server_cpu = sim::micros(300);
+  cost.replicate = write;
+  cost.disk_bytes = write ? 512 : 0;
+  co_await cluster_.execute(client, part_hash, cost);
+}
+
+// ------------------------------------------------------- queue lifecycle ----
+
+sim::Task<void> QueueService::create_queue(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  auto [it, inserted] = queues_.try_emplace(name, nullptr);
+  if (!inserted) throw ConflictError("queue already exists: " + name);
+  it->second = std::make_unique<QueueData>(cluster_.simulation());
+}
+
+sim::Task<void> QueueService::create_queue_if_not_exists(
+    netsim::Nic& client, std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  auto [it, inserted] = queues_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<QueueData>(cluster_.simulation());
+}
+
+sim::Task<void> QueueService::delete_queue(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  if (queues_.erase(name) == 0) {
+    throw NotFoundError("queue not found: " + name);
+  }
+}
+
+sim::Task<bool> QueueService::queue_exists(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), false);
+  co_return queues_.count(name) > 0;
+}
+
+sim::Task<void> QueueService::clear_queue(netsim::Nic& client,
+                                          std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  require_queue(name).messages.clear();
+}
+
+// ------------------------------------------------------------ operations ----
+
+sim::Task<void> QueueService::put_message(netsim::Nic& client,
+                                          std::string name,
+                                          Payload body, sim::Duration ttl) {
+  if (body.size() > lim::kMaxMessagePayloadBytes) {
+    throw InvalidArgumentError(
+        "message payload exceeds 49,152 usable bytes (64 KB encoded)");
+  }
+  QueueData& q = require_queue(name);
+  admit(q, name);
+
+  const std::int64_t wire = encoded_size(body.size());
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = wire;
+  cost.server_cpu = cfg_.put_cpu;
+  cost.replicate = true;  // inserts synchronize across the 3 replicas
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  {
+    auto lock = co_await q.commit_lock.acquire();
+    co_await cluster_.simulation().delay(cfg_.put_commit_time);
+  }
+
+  const sim::TimePoint now = cluster_.simulation().now();
+  const sim::Duration kMaxTtl = lim::kMessageTtlSeconds * sim::kSecond;
+  const sim::Duration effective_ttl =
+      (ttl <= 0 || ttl > kMaxTtl) ? kMaxTtl : ttl;
+  expire(q);
+  StoredMessage m;
+  m.id = next_id_++;
+  m.body = std::move(body);
+  m.insertion_time = now;
+  m.expiration_time = now + effective_ttl;
+  m.visible_from = now;
+  q.messages.push_back(std::move(m));
+}
+
+sim::Task<std::optional<QueueMessage>> QueueService::get_message(
+    netsim::Nic& client, std::string name,
+    sim::Duration visibility_timeout) {
+  QueueData& q = require_queue(name);
+  admit(q, name);
+
+  // The server must locate the message, mark it invisible, and synchronize
+  // that state change across all replicas — the most expensive operation.
+  // Timing uses an *estimate* of the message about to be served; the actual
+  // claim happens atomically after all awaits, so concurrent consumers can
+  // never receive the same message.
+  expire(q);
+  const sim::TimePoint probe_now = cluster_.simulation().now();
+  const StoredMessage* estimate = nullptr;
+  for (const StoredMessage& m : q.messages) {
+    if (m.visible_from <= probe_now) {
+      estimate = &m;
+      break;
+    }
+  }
+  const bool probably_found = estimate != nullptr;
+  const std::int64_t wire =
+      probably_found ? encoded_size(estimate->body.size()) : 256;
+
+  sim::Duration cpu = cfg_.get_cpu;
+  if (probably_found && cfg_.model_16k_get_anomaly) {
+    const std::int64_t sz = estimate->body.size();
+    if (sz >= 12 * 1024 && sz < 24 * 1024) {
+      cpu = static_cast<sim::Duration>(static_cast<double>(cpu) *
+                                       cfg_.get_16k_anomaly_factor);
+    }
+  }
+  estimate = nullptr;  // invalidated by the awaits below
+
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = wire;
+  cost.server_cpu = cpu;
+  cost.disk_bytes = probably_found ? 512 : 0;
+  cost.replicate = probably_found;  // visibility state must reach all copies
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  if (probably_found) {
+    auto lock = co_await q.commit_lock.acquire();
+    co_await cluster_.simulation().delay(cfg_.get_commit_time);
+  }
+
+  // Atomic claim (no suspension points from here to the state change).
+  expire(q);
+  const std::size_t idx = pick_visible(q);
+  if (idx >= q.messages.size()) co_return std::nullopt;
+  StoredMessage& m = q.messages[idx];
+  const sim::TimePoint now = cluster_.simulation().now();
+  const sim::Duration vis = visibility_timeout > 0
+                                ? visibility_timeout
+                                : cfg_.default_visibility_timeout;
+  m.visible_from = now + vis;
+  ++m.dequeue_count;
+  m.receipt_serial = next_receipt_++;
+
+  QueueMessage out;
+  out.id = m.id;
+  out.body = m.body;
+  out.pop_receipt = "pr-" + std::to_string(m.receipt_serial);
+  out.insertion_time = m.insertion_time;
+  out.expiration_time = m.expiration_time;
+  out.dequeue_count = m.dequeue_count;
+  co_return out;
+}
+
+sim::Task<std::optional<QueueMessage>> QueueService::peek_message(
+    netsim::Nic& client, std::string name) {
+  QueueData& q = require_queue(name);
+  admit(q, name);
+
+  expire(q);
+  const sim::TimePoint probe_now = cluster_.simulation().now();
+  std::int64_t wire = 256;
+  for (const StoredMessage& m : q.messages) {
+    if (m.visible_from <= probe_now) {
+      wire = encoded_size(m.body.size());
+      break;
+    }
+  }
+
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = wire;
+  cost.server_cpu = cfg_.peek_cpu;
+  cost.replicate = false;  // pure read: no server-side synchronization
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+
+  // Re-pick after the awaits: the deque may have changed meanwhile.
+  expire(q);
+  const std::size_t idx = pick_visible(q);
+  if (idx >= q.messages.size()) co_return std::nullopt;
+  const StoredMessage& m = q.messages[idx];
+  QueueMessage out;
+  out.id = m.id;
+  out.body = m.body;
+  out.insertion_time = m.insertion_time;
+  out.expiration_time = m.expiration_time;
+  out.dequeue_count = m.dequeue_count;
+  co_return out;
+}
+
+sim::Task<void> QueueService::delete_message(netsim::Nic& client,
+                                             std::string name,
+                                             std::uint64_t id,
+                                             std::string pop_receipt) {
+  QueueData& q = require_queue(name);
+  admit(q, name);
+
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.server_cpu = cfg_.delete_cpu;
+  cost.disk_bytes = 512;
+  cost.replicate = true;
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  {
+    auto lock = co_await q.commit_lock.acquire();
+    co_await cluster_.simulation().delay(cfg_.delete_commit_time);
+  }
+
+  auto it = std::find_if(q.messages.begin(), q.messages.end(),
+                         [id](const StoredMessage& m) { return m.id == id; });
+  if (it == q.messages.end()) {
+    throw NotFoundError("message not found in queue: " + name);
+  }
+  if ("pr-" + std::to_string(it->receipt_serial) != pop_receipt) {
+    throw PreconditionFailedError(
+        "pop receipt no longer valid (message was re-gotten)");
+  }
+  q.messages.erase(it);
+}
+
+sim::Task<QueueMessage> QueueService::update_message(
+    netsim::Nic& client, std::string name, std::uint64_t id,
+    std::string pop_receipt, sim::Duration visibility_timeout,
+    std::optional<Payload> new_body) {
+  if (new_body && new_body->size() > lim::kMaxMessagePayloadBytes) {
+    throw InvalidArgumentError(
+        "message payload exceeds 49,152 usable bytes (64 KB encoded)");
+  }
+  QueueData& q = require_queue(name);
+  admit(q, name);
+
+  const std::int64_t wire =
+      new_body ? encoded_size(new_body->size()) : 256;
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = new_body ? wire : 512;
+  cost.server_cpu = cfg_.put_cpu;
+  cost.replicate = true;  // visibility/content change reaches all copies
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  {
+    auto lock = co_await q.commit_lock.acquire();
+    co_await cluster_.simulation().delay(cfg_.put_commit_time);
+  }
+
+  auto it = std::find_if(q.messages.begin(), q.messages.end(),
+                         [id](const StoredMessage& m) { return m.id == id; });
+  if (it == q.messages.end()) {
+    throw NotFoundError("message not found in queue: " + name);
+  }
+  if ("pr-" + std::to_string(it->receipt_serial) != pop_receipt) {
+    throw PreconditionFailedError(
+        "pop receipt no longer valid (message was re-gotten)");
+  }
+  it->visible_from = cluster_.simulation().now() + visibility_timeout;
+  if (new_body) it->body = std::move(*new_body);
+  it->receipt_serial = next_receipt_++;
+
+  QueueMessage out;
+  out.id = it->id;
+  out.body = it->body;
+  out.pop_receipt = "pr-" + std::to_string(it->receipt_serial);
+  out.insertion_time = it->insertion_time;
+  out.expiration_time = it->expiration_time;
+  out.dequeue_count = it->dequeue_count;
+  co_return out;
+}
+
+sim::Task<std::int64_t> QueueService::get_message_count(
+    netsim::Nic& client, std::string name) {
+  QueueData& q = require_queue(name);
+  admit(q, name);
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = 256;
+  cost.server_cpu = sim::micros(500);
+  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  expire(q);
+  co_return static_cast<std::int64_t>(q.messages.size());
+}
+
+}  // namespace azure

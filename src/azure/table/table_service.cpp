@@ -1,0 +1,425 @@
+#include "azure/table/table_service.hpp"
+
+
+#include <set>
+namespace azure {
+namespace lim = azure::limits;
+
+// --------------------------------------------------------------- entity ----
+
+namespace {
+
+std::int64_t property_size(const PropertyValue& v) {
+  struct Sizer {
+    std::int64_t operator()(std::string s) const {
+      return static_cast<std::int64_t>(s.size());
+    }
+    std::int64_t operator()(std::int64_t) const { return 8; }
+    std::int64_t operator()(double) const { return 8; }
+    std::int64_t operator()(bool) const { return 1; }
+    std::int64_t operator()(const Payload& p) const { return p.size(); }
+  };
+  return std::visit(Sizer{}, v);
+}
+
+}  // namespace
+
+std::int64_t TableEntity::size() const {
+  std::int64_t total = static_cast<std::int64_t>(partition_key.size()) +
+                       static_cast<std::int64_t>(row_key.size()) + 8 /*ts*/;
+  for (const auto& [name, value] : properties) {
+    total += static_cast<std::int64_t>(name.size()) + property_size(value);
+  }
+  return total;
+}
+
+// -------------------------------------------------------------- helpers ----
+
+TableService::TableData& TableService::require_table(
+    std::string table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) throw NotFoundError("table not found: " + table);
+  return it->second;
+}
+
+TableService::PartitionState& TableService::partition_state(
+    TableData& t, std::string pk) {
+  auto& slot = t.partitions[pk];
+  if (!slot) slot = std::make_unique<PartitionState>(cluster_.simulation());
+  return *slot;
+}
+
+void TableService::validate_entity(const TableEntity& e) const {
+  if (e.partition_key.empty() || e.row_key.empty()) {
+    throw InvalidArgumentError("PartitionKey and RowKey are required");
+  }
+  // 3 system properties (PartitionKey, RowKey, Timestamp) count toward 255.
+  if (static_cast<int>(e.properties.size()) + 3 >
+      lim::kMaxPropertiesPerEntity) {
+    throw InvalidArgumentError("entity exceeds 255 properties");
+  }
+  if (e.size() > lim::kMaxEntityBytes) {
+    throw InvalidArgumentError("entity exceeds 1 MB");
+  }
+}
+
+void TableService::admit(TableData& t, std::string table,
+                         std::string pk) {
+  if (!partition_state(t, pk).throttle.try_consume()) {
+    throw ServerBusyError("table '" + table + "' partition '" + pk +
+                          "' exceeded 500 entities per second");
+  }
+}
+
+sim::Task<void> TableService::journal_write(std::string table,
+                                            std::string pk,
+                                            std::int64_t bytes) {
+  const int server = cluster_.server_index(hash(table, pk));
+  auto& journal = journals_[server];
+  if (!journal) {
+    journal = std::make_unique<sim::FlowLimiter>(
+        cluster_.simulation(), cfg_.journal_bytes_per_sec,
+        /*burst=*/32 * 1024.0);
+  }
+  co_await journal->acquire(static_cast<double>(bytes));
+}
+
+sim::Task<void> TableService::metadata_op(netsim::Nic& client,
+                                          std::uint64_t part_hash,
+                                          bool write) {
+  cluster::RequestCost cost;
+  cost.request_bytes = 256;
+  cost.response_bytes = 256;
+  cost.server_cpu = sim::micros(300);
+  cost.replicate = write;
+  cost.disk_bytes = write ? 512 : 0;
+  co_await cluster_.execute(client, part_hash, cost);
+}
+
+// ------------------------------------------------------- table lifecycle ----
+
+sim::Task<void> TableService::create_table(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  auto [it, inserted] = tables_.try_emplace(name);
+  (void)it;
+  if (!inserted) throw ConflictError("table already exists: " + name);
+}
+
+sim::Task<void> TableService::create_table_if_not_exists(
+    netsim::Nic& client, std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  tables_.try_emplace(name);
+}
+
+sim::Task<void> TableService::delete_table(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), true);
+  if (tables_.erase(name) == 0) {
+    throw NotFoundError("table not found: " + name);
+  }
+}
+
+sim::Task<bool> TableService::table_exists(netsim::Nic& client,
+                                           std::string name) {
+  co_await metadata_op(client, cluster::partition_hash(name), false);
+  co_return tables_.count(name) > 0;
+}
+
+// ------------------------------------------------------------ operations ----
+
+sim::Task<void> TableService::insert(netsim::Nic& client,
+                                     std::string table,
+                                     TableEntity entity) {
+  validate_entity(entity);
+  TableData& t = require_table(table);
+  admit(t, table, entity.partition_key);
+
+  const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  co_await journal_write(table, entity.partition_key, wire);
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = wire;
+  cost.server_cpu = cfg_.insert_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
+
+  Key key{entity.partition_key, entity.row_key};
+  if (t.entities.count(key)) {
+    throw ConflictError("entity already exists: " + entity.partition_key +
+                        "/" + entity.row_key);
+  }
+  entity.etag = next_etag();
+  entity.timestamp = cluster_.simulation().now();
+  t.entities.emplace(std::move(key), std::move(entity));
+}
+
+sim::Task<TableEntity> TableService::query(netsim::Nic& client,
+                                           std::string table,
+                                           std::string partition_key,
+                                           std::string row_key) {
+  TableData& t = require_table(table);
+  admit(t, table, partition_key);
+
+  auto it = t.entities.find(Key{partition_key, row_key});
+  const std::int64_t wire =
+      (it != t.entities.end() ? it->second.size() : 0) +
+      cfg_.entity_envelope_bytes;
+  cluster::RequestCost cost;
+  cost.request_bytes = 512;
+  cost.response_bytes = wire;
+  cost.server_cpu = cfg_.query_cpu;
+  co_await cluster_.execute(client, hash(table, partition_key), cost);
+
+  if (it == t.entities.end()) {
+    throw NotFoundError("entity not found: " + partition_key + "/" + row_key);
+  }
+  co_return it->second;
+}
+
+sim::Task<std::vector<TableEntity>> TableService::query_partition(
+    netsim::Nic& client, std::string table,
+    std::string partition_key) {
+  TableData& t = require_table(table);
+  admit(t, table, partition_key);
+
+  std::vector<TableEntity> out;
+  std::int64_t wire = cfg_.entity_envelope_bytes;
+  for (auto it = t.entities.lower_bound(Key{partition_key, ""});
+       it != t.entities.end() && it->first.first == partition_key; ++it) {
+    out.push_back(it->second);
+    wire += it->second.size() + 64;
+  }
+  cluster::RequestCost cost;
+  cost.request_bytes = 512;
+  cost.response_bytes = wire;
+  cost.server_cpu =
+      cfg_.query_cpu + static_cast<sim::Duration>(out.size()) * sim::micros(50);
+  co_await cluster_.execute(client, hash(table, partition_key), cost);
+  co_return out;
+}
+
+sim::Task<void> TableService::update(netsim::Nic& client,
+                                     std::string table,
+                                     TableEntity entity,
+                                     std::string if_match) {
+  validate_entity(entity);
+  TableData& t = require_table(table);
+  admit(t, table, entity.partition_key);
+
+  const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  co_await journal_write(table, entity.partition_key, wire);
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = wire;
+  cost.server_cpu = cfg_.update_cpu;  // ETag check + read-modify-write
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
+
+  auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
+  if (it == t.entities.end()) {
+    throw NotFoundError("entity not found: " + entity.partition_key + "/" +
+                        entity.row_key);
+  }
+  if (if_match != "*" && it->second.etag != if_match) {
+    throw PreconditionFailedError("ETag mismatch on update");
+  }
+  entity.etag = next_etag();
+  entity.timestamp = cluster_.simulation().now();
+  it->second = std::move(entity);
+}
+
+sim::Task<void> TableService::insert_or_replace(netsim::Nic& client,
+                                                std::string table,
+                                                TableEntity entity) {
+  validate_entity(entity);
+  TableData& t = require_table(table);
+  admit(t, table, entity.partition_key);
+
+  const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  co_await journal_write(table, entity.partition_key, wire);
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = wire;
+  cost.server_cpu = cfg_.update_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
+
+  entity.etag = next_etag();
+  entity.timestamp = cluster_.simulation().now();
+  Key key{entity.partition_key, entity.row_key};
+  t.entities[std::move(key)] = std::move(entity);
+}
+
+sim::Task<void> TableService::merge(netsim::Nic& client,
+                                    std::string table,
+                                    TableEntity entity,
+                                    std::string if_match) {
+  validate_entity(entity);
+  TableData& t = require_table(table);
+  admit(t, table, entity.partition_key);
+
+  const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  co_await journal_write(table, entity.partition_key, wire);
+  cluster::RequestCost cost;
+  cost.request_bytes = wire;
+  cost.disk_bytes = wire;
+  cost.server_cpu = cfg_.update_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
+
+  auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
+  if (it == t.entities.end()) {
+    throw NotFoundError("entity not found: " + entity.partition_key + "/" +
+                        entity.row_key);
+  }
+  if (if_match != "*" && it->second.etag != if_match) {
+    throw PreconditionFailedError("ETag mismatch on merge");
+  }
+  for (auto& [name, value] : entity.properties) {
+    it->second.properties[name] = value;
+  }
+  // Validate the merged result still fits the limits.
+  validate_entity(it->second);
+  it->second.etag = next_etag();
+  it->second.timestamp = cluster_.simulation().now();
+}
+
+sim::Task<void> TableService::erase(netsim::Nic& client,
+                                    std::string table,
+                                    std::string partition_key,
+                                    std::string row_key,
+                                    std::string if_match) {
+  TableData& t = require_table(table);
+  admit(t, table, partition_key);
+
+  co_await journal_write(table, partition_key, 512);
+  cluster::RequestCost cost;
+  cost.request_bytes = 512;
+  cost.disk_bytes = 512;
+  cost.server_cpu = cfg_.delete_cpu;
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, partition_key), cost);
+
+  auto it = t.entities.find(Key{partition_key, row_key});
+  if (it == t.entities.end()) {
+    throw NotFoundError("entity not found: " + partition_key + "/" + row_key);
+  }
+  if (if_match != "*" && it->second.etag != if_match) {
+    throw PreconditionFailedError("ETag mismatch on delete");
+  }
+  t.entities.erase(it);
+}
+
+sim::Task<void> TableService::execute_batch(netsim::Nic& client,
+                                            std::string table,
+                                            TableBatch batch) {
+  using OpKind = TableBatch::OpKind;
+  if (batch.empty()) {
+    throw InvalidArgumentError("batch must contain at least one operation");
+  }
+  if (batch.size() > 100) {
+    throw InvalidArgumentError("batch exceeds 100 operations");
+  }
+  const std::string& pk = batch.operations().front().entity.partition_key;
+  std::int64_t total_wire = cfg_.entity_envelope_bytes;
+  {
+    std::set<std::string> rows;
+    for (const auto& op : batch.operations()) {
+      if (op.entity.partition_key != pk) {
+        throw InvalidArgumentError(
+            "entity group transactions must target a single partition");
+      }
+      if (!rows.insert(op.entity.row_key).second) {
+        throw InvalidArgumentError(
+            "at most one operation per row key in a batch");
+      }
+      if (op.kind == OpKind::kDelete) {
+        if (op.entity.partition_key.empty() || op.entity.row_key.empty()) {
+          throw InvalidArgumentError("PartitionKey and RowKey are required");
+        }
+      } else {
+        validate_entity(op.entity);
+      }
+      total_wire += op.entity.size() + 128;
+    }
+  }
+  if (total_wire > 4ll << 20) {
+    throw InvalidArgumentError("batch payload exceeds 4 MB");
+  }
+
+  TableData& t = require_table(table);
+  // Every entity in the group counts against the partition's 500/s target,
+  // atomically: the whole batch is admitted or rejected.
+  if (!partition_state(t, pk).throttle.try_consume(
+          static_cast<std::int64_t>(batch.size()))) {
+    throw ServerBusyError("table '" + table + "' partition '" + pk +
+                          "' exceeded 500 entities per second");
+  }
+
+  co_await journal_write(table, pk, total_wire);
+  cluster::RequestCost cost;
+  cost.request_bytes = total_wire;
+  cost.disk_bytes = total_wire;
+  cost.server_cpu =
+      cfg_.insert_cpu +
+      static_cast<sim::Duration>(batch.size()) * sim::millis(1);
+  cost.replicate = true;
+  co_await cluster_.execute(client, hash(table, pk), cost);
+
+  // Atomic commit: first verify every precondition against the current
+  // state (no suspension points below), then apply every mutation. A
+  // failure between the two loops leaves the table untouched.
+  for (const auto& op : batch.operations()) {
+    const Key key{op.entity.partition_key, op.entity.row_key};
+    const auto it = t.entities.find(key);
+    switch (op.kind) {
+      case OpKind::kInsert:
+        if (it != t.entities.end()) {
+          throw ConflictError("entity already exists: " + op.entity.row_key);
+        }
+        break;
+      case OpKind::kUpdate:
+      case OpKind::kMerge:
+      case OpKind::kDelete:
+        if (it == t.entities.end()) {
+          throw NotFoundError("entity not found: " + op.entity.row_key);
+        }
+        if (op.if_match != "*" && it->second.etag != op.if_match) {
+          throw PreconditionFailedError("ETag mismatch in batch on " +
+                                        op.entity.row_key);
+        }
+        break;
+      case OpKind::kInsertOrReplace:
+        break;
+    }
+  }
+  for (auto& op : batch.operations()) {
+    Key key{op.entity.partition_key, op.entity.row_key};
+    switch (op.kind) {
+      case OpKind::kInsert:
+      case OpKind::kUpdate:
+      case OpKind::kInsertOrReplace: {
+        TableEntity e = op.entity;
+        e.etag = next_etag();
+        e.timestamp = cluster_.simulation().now();
+        t.entities[std::move(key)] = std::move(e);
+        break;
+      }
+      case OpKind::kMerge: {
+        TableEntity& target = t.entities[key];
+        for (const auto& [name, value] : op.entity.properties) {
+          target.properties[name] = value;
+        }
+        target.etag = next_etag();
+        target.timestamp = cluster_.simulation().now();
+        break;
+      }
+      case OpKind::kDelete:
+        t.entities.erase(key);
+        break;
+    }
+  }
+}
+
+}  // namespace azure

@@ -1,0 +1,75 @@
+// Tunable parameters of the simulated Windows Azure storage cluster.
+//
+// Defaults encode the scalability targets the paper quotes (Section IV) and
+// the architecture published in Calder et al., "Windows Azure Storage"
+// (SOSP'11): 3-replica strong consistency, partitioned servers, per-account
+// and per-partition transaction caps. Service-time constants are calibrated
+// in bench/ so that reproduced figures match the paper's shapes; every knob
+// is documented with its observable effect.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace cluster {
+
+/// What happens when the account transaction target is exceeded.
+enum class ThrottleMode {
+  /// Reject with ServerBusy, as real Azure does (clients back off/retry).
+  kReject,
+  /// Admission-queue the request until the next window (an ablation that
+  /// shows why rejection + client backoff is the observable behaviour).
+  kQueue,
+};
+
+struct ClusterConfig {
+  /// Throttling policy for the account transaction target.
+  ThrottleMode throttle_mode = ThrottleMode::kReject;
+
+  // ----------------------------------------------------------- topology ----
+  /// Number of partition servers data is spread across. Azure spreads
+  /// partitions over many servers; 16 is plenty for 100 simulated clients.
+  int partition_servers = 16;
+
+  /// Replicas per storage object (Azure keeps 3 with strong consistency).
+  int replicas = 3;
+
+  /// Concurrent request executors per partition server.
+  int executors_per_server = 64;
+
+  // ------------------------------------------------------------ network ----
+  /// Partition-server NIC bandwidth, each direction (bytes/s).
+  double server_nic_bytes_per_sec = 800.0 * 1024 * 1024;
+
+  /// Per-request NIC serialization latency on the server side.
+  sim::Duration server_nic_latency = sim::micros(50);
+
+  /// Front-end (load balancer + authentication + routing) latency added to
+  /// every request before it reaches a partition server.
+  sim::Duration frontend_latency = sim::millis(1);
+
+  // --------------------------------------------------------------- disk ----
+  /// Streaming disk bandwidth per partition server (bytes/s).
+  double disk_bytes_per_sec = 400.0 * 1024 * 1024;
+
+  /// Fixed per-request server-side processing time (request parsing,
+  /// partition-map lookup, authorization).
+  sim::Duration request_overhead = sim::micros(500);
+
+  // -------------------------------------------------------- replication ----
+  /// Commit latency added by each synchronous replica write (intra-stamp
+  /// stream append + ack), on top of moving the payload to the replica.
+  sim::Duration replica_commit_latency = sim::millis(2);
+
+  // ------------------------------------------------ scalability targets ----
+  /// "Windows Azure storage services can handle up to 5,000 transactions
+  /// (entities/messages/blobs) per second" per account.
+  std::int64_t account_transactions_per_sec = 5'000;
+
+  /// "maximum bandwidth support for up to 3 GB per second for a single
+  /// storage account".
+  double account_bytes_per_sec = 3.0 * 1024 * 1024 * 1024;
+};
+
+}  // namespace cluster

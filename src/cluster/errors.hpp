@@ -1,0 +1,23 @@
+// Error types surfaced by the simulated storage backend.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cluster {
+
+/// Base class for all simulated storage-backend failures.
+class StorageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when a scalability target is exceeded (HTTP 503 in real Azure).
+/// Clients are expected to back off and retry — the paper's benchmark
+/// sleeps one second before retrying the same operation.
+class ServerBusyError : public StorageError {
+ public:
+  explicit ServerBusyError(const std::string& what) : StorageError(what) {}
+};
+
+}  // namespace cluster

@@ -1,0 +1,35 @@
+// Stable partition hashing. Azure partitions blobs by container+blob name,
+// queues by queue name, and table entities by table+partition key; we use
+// FNV-1a so the mapping is identical across platforms and runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cluster {
+
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Combines two key components (e.g. container + blob name) into one
+/// partition hash, mirroring Azure's "PartitionKey = name1 + '/' + name2".
+constexpr std::uint64_t partition_hash(std::string_view a,
+                                       std::string_view b = {}) noexcept {
+  std::uint64_t h = fnv1a(a);
+  if (!b.empty()) {
+    h ^= 0x9E3779B97F4A7C15ull;
+    for (const char c : b) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace cluster

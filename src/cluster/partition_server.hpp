@@ -1,0 +1,74 @@
+// One partition server: a pool of request executors in front of a disk and
+// a NIC. Services (blob/queue/table) describe each request's cost and the
+// server models queueing, disk occupancy, and replication fan-out load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/config.hpp"
+#include "netsim/nic.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/task.hpp"
+
+namespace cluster {
+
+class PartitionServer {
+ public:
+  PartitionServer(sim::Simulation& sim, const ClusterConfig& cfg, int index)
+      : sim_(sim),
+        cfg_(cfg),
+        index_(index),
+        executors_(sim, cfg.executors_per_server),
+        disk_(sim, cfg.disk_bytes_per_sec, /*burst=*/256.0 * 1024),
+        nic_(sim, netsim::NicConfig{cfg.server_nic_bytes_per_sec,
+                                    cfg.server_nic_bytes_per_sec,
+                                    cfg.server_nic_latency}) {}
+
+  int index() const noexcept { return index_; }
+  netsim::Nic& nic() noexcept { return nic_; }
+  sim::Resource& executors() noexcept { return executors_; }
+  const sim::Resource& executors() const noexcept { return executors_; }
+
+  /// Occupies one executor, then pays fixed processing plus extra CPU time
+  /// plus disk occupancy for `disk_bytes`.
+  sim::Task<void> process(sim::Duration cpu, std::int64_t disk_bytes) {
+    auto lease = co_await executors_.acquire();
+    co_await sim_.delay(cfg_.request_overhead + cpu);
+    if (disk_bytes > 0) {
+      co_await disk_.acquire(static_cast<double>(disk_bytes));
+    }
+    ++requests_;
+    disk_bytes_ += disk_bytes;
+  }
+
+  /// Models this server acting as a replica: receive the payload on the NIC,
+  /// append to the local disk, ack after the commit latency.
+  sim::Task<void> replica_commit(std::int64_t bytes) {
+    if (bytes > 0) {
+      co_await nic_.receive(bytes);
+      co_await disk_.acquire(static_cast<double>(bytes));
+    }
+    co_await sim_.delay(cfg_.replica_commit_latency);
+    ++replica_commits_;
+  }
+
+  std::int64_t requests() const noexcept { return requests_; }
+  std::int64_t replica_commits() const noexcept { return replica_commits_; }
+  std::int64_t disk_bytes() const noexcept { return disk_bytes_; }
+
+ private:
+  sim::Simulation& sim_;
+  const ClusterConfig& cfg_;
+  int index_;
+  sim::Resource executors_;
+  sim::FlowLimiter disk_;
+  netsim::Nic nic_;
+  std::int64_t requests_ = 0;
+  std::int64_t replica_commits_ = 0;
+  std::int64_t disk_bytes_ = 0;
+};
+
+}  // namespace cluster

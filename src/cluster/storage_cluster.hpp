@@ -1,0 +1,193 @@
+// The simulated storage stamp: partition servers behind a front-end, with
+// account-level scalability targets and synchronous 3-replica commits.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/errors.hpp"
+#include "cluster/partition_server.hpp"
+#include "netsim/network.hpp"
+#include "netsim/nic.hpp"
+#include "simcore/rate_limiter.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/sync.hpp"
+#include "simcore/task.hpp"
+
+namespace cluster {
+
+/// Cost description of one storage request, filled in by the service layer
+/// (blob/queue/table), which knows the operation semantics.
+struct RequestCost {
+  /// Payload bytes client -> server (uploads, message bodies, entities).
+  std::int64_t request_bytes = 0;
+  /// Payload bytes server -> client (downloads, query results).
+  std::int64_t response_bytes = 0;
+  /// Extra server CPU beyond the fixed per-request overhead (index lookups,
+  /// serialization, ETag checks).
+  sim::Duration server_cpu = 0;
+  /// Bytes moved through the primary's disk.
+  std::int64_t disk_bytes = 0;
+  /// Synchronously commit to the other replicas before acknowledging.
+  bool replicate = false;
+  /// Whether the request counts against the account's transactions/s target.
+  bool counts_as_transaction = true;
+};
+
+class StorageCluster {
+ public:
+  StorageCluster(sim::Simulation& sim, const ClusterConfig& cfg = {})
+      : sim_(sim),
+        cfg_(cfg),
+        network_(sim),
+        account_tx_(sim, cfg.account_transactions_per_sec),
+        account_ingress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024),
+        account_egress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024) {
+    assert(cfg.partition_servers >= cfg.replicas);
+    servers_.reserve(static_cast<std::size_t>(cfg.partition_servers));
+    for (int i = 0; i < cfg.partition_servers; ++i) {
+      servers_.push_back(std::make_unique<PartitionServer>(sim, cfg_, i));
+    }
+  }
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+  const ClusterConfig& config() const noexcept { return cfg_; }
+  netsim::Network& network() noexcept { return network_; }
+
+  int server_index(std::uint64_t partition_hash) const noexcept {
+    return static_cast<int>(partition_hash %
+                            static_cast<std::uint64_t>(servers_.size()));
+  }
+
+  PartitionServer& server(int index) noexcept {
+    return *servers_[static_cast<std::size_t>(index)];
+  }
+
+  /// Executes one request against the partition owning `partition_hash` on
+  /// behalf of the client endpoint `client`. Throws ServerBusyError when the
+  /// account transaction target is exceeded (before any time is spent, as a
+  /// front-end rejection).
+  sim::Task<void> execute(netsim::Nic& client, std::uint64_t partition_hash,
+                          RequestCost cost) {
+    if (cost.counts_as_transaction) {
+      while (!account_tx_.try_consume()) {
+        if (cfg_.throttle_mode == ThrottleMode::kReject) {
+          throw ServerBusyError(
+              "account transaction target exceeded (5,000 tx/s)");
+        }
+        // Ablation mode: wait for the next admission window instead of
+        // rejecting.
+        co_await sim_.delay_until(
+            (sim_.now() / sim::kSecond + 1) * sim::kSecond);
+      }
+    }
+    ++total_requests_;
+
+    PartitionServer& primary = server(server_index(partition_hash));
+
+    // Request path: client uplink -> account ingress shaping -> front-end ->
+    // primary NIC.
+    if (cost.request_bytes > 0) {
+      co_await account_ingress_.acquire(
+          static_cast<double>(cost.request_bytes));
+    }
+    co_await network_.transfer(client, primary.nic(), cost.request_bytes);
+    co_await sim_.delay(cfg_.frontend_latency);
+
+    // Server-side processing (executor + CPU + disk).
+    co_await primary.process(cost.server_cpu, cost.disk_bytes);
+
+    // Synchronous replication: payload flows from the primary to each of the
+    // other replicas in parallel; the request acks when the slowest commits.
+    if (cost.replicate && cfg_.replicas > 1) {
+      co_await replicate(primary, cost.disk_bytes);
+    }
+
+    // Response path mirrors the request path.
+    if (cost.response_bytes > 0) {
+      co_await account_egress_.acquire(
+          static_cast<double>(cost.response_bytes));
+    }
+    co_await network_.transfer(primary.nic(), client, cost.response_bytes);
+  }
+
+  std::int64_t total_requests() const noexcept { return total_requests_; }
+  std::int64_t throttle_rejections() const noexcept {
+    return account_tx_.rejected();
+  }
+
+  /// Per-server load snapshot, for capacity analysis and tests.
+  struct ServerLoad {
+    int server = 0;
+    std::int64_t requests = 0;
+    std::int64_t replica_commits = 0;
+    std::int64_t disk_bytes = 0;
+    int executor_high_watermark = 0;
+  };
+  struct LoadReport {
+    std::int64_t total_requests = 0;
+    std::int64_t throttle_rejections = 0;
+    std::vector<ServerLoad> servers;
+
+    /// Ratio of the busiest server's request count to the mean — 1.0 is a
+    /// perfectly balanced partition map.
+    double imbalance() const {
+      if (servers.empty() || total_requests == 0) return 1.0;
+      std::int64_t peak = 0;
+      for (const auto& s : servers) peak = std::max(peak, s.requests);
+      const double mean = static_cast<double>(total_requests) /
+                          static_cast<double>(servers.size());
+      return mean > 0 ? static_cast<double>(peak) / mean : 1.0;
+    }
+  };
+
+  LoadReport load_report() const {
+    LoadReport report;
+    report.total_requests = total_requests_;
+    report.throttle_rejections = account_tx_.rejected();
+    report.servers.reserve(servers_.size());
+    for (const auto& server : servers_) {
+      const PartitionServer& s = *server;
+      report.servers.push_back(ServerLoad{
+          s.index(), s.requests(), s.replica_commits(), s.disk_bytes(),
+          s.executors().high_watermark()});
+    }
+    return report;
+  }
+
+ private:
+  sim::Task<void> replicate(PartitionServer& primary, std::int64_t bytes) {
+    sim::WaitGroup wg(sim_);
+    const int fanout = cfg_.replicas - 1;
+    for (int k = 1; k <= fanout; ++k) {
+      PartitionServer& replica =
+          server((primary.index() + k) % cfg_.partition_servers);
+      wg.add();
+      sim_.spawn(replica_send(primary, replica, bytes, wg));
+    }
+    co_await wg.wait();
+  }
+
+  sim::Task<void> replica_send(PartitionServer& primary,
+                               PartitionServer& replica, std::int64_t bytes,
+                               sim::WaitGroup& wg) {
+    if (bytes > 0) co_await primary.nic().send(bytes);
+    co_await sim_.delay(network_.config().propagation);
+    co_await replica.replica_commit(bytes);
+    wg.done();
+  }
+
+  sim::Simulation& sim_;
+  ClusterConfig cfg_;
+  netsim::Network network_;
+  sim::WindowCounter account_tx_;
+  sim::FlowLimiter account_ingress_;
+  sim::FlowLimiter account_egress_;
+  std::vector<std::unique_ptr<PartitionServer>> servers_;
+  std::int64_t total_requests_ = 0;
+};
+
+}  // namespace cluster

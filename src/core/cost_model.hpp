@@ -1,0 +1,93 @@
+// Operating-cost model — the assessment the paper explicitly defers ("We
+// have chosen not to include the assessment of operating cost ... We plan
+// to address both these issues ... in near future").
+//
+// Prices are the published 2012 pay-as-you-go rates for Windows Azure:
+//   * compute: $0.12 per Small-instance hour, scaling linearly with cores
+//     ($0.04 for the shared-core Extra Small instance);
+//   * storage transactions: $0.01 per 10,000;
+//   * stored data: $0.125 per GB-month (geo-redundant);
+//   * egress bandwidth: $0.12 per GB (ingress and intra-datacenter free —
+//     the benchmarks run inside the datacenter, so this is usually zero).
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/vm_size.hpp"
+#include "simcore/time.hpp"
+
+namespace azurebench {
+
+struct PriceSheet2012 {
+  double small_instance_per_hour = 0.12;
+  double extra_small_instance_per_hour = 0.04;
+  double per_10k_transactions = 0.01;
+  double storage_gb_month = 0.125;
+  double egress_per_gb = 0.12;
+};
+
+/// Resource usage of one experiment, gathered from the simulation.
+struct UsageSample {
+  /// Storage transactions issued (cluster.total_requests()).
+  std::int64_t transactions = 0;
+  /// Instance-count x VM size over the experiment's duration.
+  int instances = 0;
+  fabric::VmSize vm_size = fabric::VmSize::kSmall;
+  sim::Duration duration = 0;
+  /// Peak bytes held in the storage account.
+  std::int64_t peak_stored_bytes = 0;
+  /// Bytes leaving the datacenter (zero for in-datacenter benchmarks).
+  std::int64_t egress_bytes = 0;
+};
+
+struct CostReport {
+  double compute_usd = 0;
+  double transactions_usd = 0;
+  double storage_usd = 0;
+  double egress_usd = 0;
+  double total() const {
+    return compute_usd + transactions_usd + storage_usd + egress_usd;
+  }
+};
+
+inline double instance_hour_price(fabric::VmSize size,
+                                  const PriceSheet2012& prices) {
+  if (size == fabric::VmSize::kExtraSmall) {
+    return prices.extra_small_instance_per_hour;
+  }
+  // Small/Medium/Large/Extra Large scale linearly with cores.
+  return prices.small_instance_per_hour * fabric::spec_of(size).cpu_cores;
+}
+
+/// Prices one experiment. Azure bills compute by started clock hours; we
+/// follow that and round the duration up per instance.
+inline CostReport estimate_cost(const UsageSample& usage,
+                                const PriceSheet2012& prices = {}) {
+  CostReport report;
+  const double hours_exact =
+      sim::to_seconds(usage.duration) / 3600.0;
+  const double billed_hours =
+      usage.duration > 0 ? static_cast<double>(static_cast<std::int64_t>(
+                               hours_exact) +
+                           ((hours_exact - static_cast<double>(
+                                               static_cast<std::int64_t>(
+                                                   hours_exact))) > 0
+                                ? 1
+                                : 0))
+                         : 0.0;
+  report.compute_usd = billed_hours * usage.instances *
+                       instance_hour_price(usage.vm_size, prices);
+  report.transactions_usd = static_cast<double>(usage.transactions) /
+                            10'000.0 * prices.per_10k_transactions;
+  // Storage is billed per GB-month, prorated by the experiment's duration.
+  const double gb = static_cast<double>(usage.peak_stored_bytes) /
+                    (1024.0 * 1024.0 * 1024.0);
+  const double month_fraction =
+      sim::to_seconds(usage.duration) / (30.0 * 24.0 * 3600.0);
+  report.storage_usd = gb * prices.storage_gb_month * month_fraction;
+  report.egress_usd = static_cast<double>(usage.egress_bytes) /
+                      (1024.0 * 1024.0 * 1024.0) * prices.egress_per_gb;
+  return report;
+}
+
+}  // namespace azurebench

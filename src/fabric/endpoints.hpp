@@ -1,0 +1,93 @@
+// Internal TCP endpoints between role instances.
+//
+// Section III: "Azure platform also supports TCP endpoints that can be
+// configured to facilitate an application to listen on an assigned TCP
+// port for incoming requests. TCP messages can be sent/received among
+// Azure roles" — the paper does not study them; this module implements
+// them so applications (and the extension benches) can compare direct
+// role-to-role messaging against queue-mediated communication.
+//
+// Model: connection-less message endpoints. A send occupies the sender's
+// NIC uplink, the fabric, and the receiver's NIC downlink; messages from
+// one sender arrive in order; receives suspend until a message arrives.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "azure/common/payload.hpp"
+#include "netsim/network.hpp"
+#include "netsim/nic.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/task.hpp"
+
+namespace fabric {
+
+class InternalEndpoint {
+ public:
+  /// @param sim      the simulation this endpoint lives in.
+  /// @param network  the datacenter fabric connecting the roles.
+  /// @param nic      the owning role instance's NIC.
+  InternalEndpoint(sim::Simulation& sim, netsim::Network& network,
+                   netsim::Nic& nic)
+      : sim_(sim), network_(network), nic_(nic) {}
+  InternalEndpoint(const InternalEndpoint&) = delete;
+  InternalEndpoint& operator=(const InternalEndpoint&) = delete;
+  ~InternalEndpoint() { assert(waiters_.empty()); }
+
+  /// Sends `message` to `dst`. Completes when the payload has been
+  /// delivered into the destination inbox.
+  sim::Task<void> send(InternalEndpoint& dst, azure::Payload message) {
+    ++sent_;
+    co_await network_.transfer(nic_, dst.nic_, message.size() + 64);
+    dst.deliver(std::move(message));
+  }
+
+  /// Awaits the next message (FIFO across arrival order).
+  sim::Task<azure::Payload> receive() {
+    // Re-check after every wake-up: a concurrent receiver scheduled at the
+    // same timestamp may have consumed the message first.
+    while (inbox_.empty()) {
+      co_await Waiter{*this};
+    }
+    azure::Payload front = std::move(inbox_.front());
+    inbox_.pop_front();
+    co_return front;
+  }
+
+  std::size_t pending() const noexcept { return inbox_.size(); }
+  std::int64_t messages_sent() const noexcept { return sent_; }
+  std::int64_t messages_received() const noexcept { return received_; }
+
+ private:
+  struct Waiter {
+    InternalEndpoint& ep;
+    bool await_ready() const noexcept { return !ep.inbox_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      ep.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void deliver(azure::Payload message) {
+    inbox_.push_back(std::move(message));
+    ++received_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_resume(sim_.now(), h);
+    }
+  }
+
+  sim::Simulation& sim_;
+  netsim::Network& network_;
+  netsim::Nic& nic_;
+  std::deque<azure::Payload> inbox_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::int64_t sent_ = 0;
+  std::int64_t received_ = 0;
+};
+
+}  // namespace fabric

@@ -1,0 +1,61 @@
+// Per-role local storage: a scratch disk private to one role instance
+// (Azure's "LocalResource"). The paper notes it behaves like a local hard
+// disk and excludes it from the storage benchmarks; the fabric still
+// provides it for applications that stage intermediate data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "azure/common/errors.hpp"
+#include "azure/common/payload.hpp"
+
+namespace fabric {
+
+class LocalStorage {
+ public:
+  explicit LocalStorage(std::int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::int64_t capacity() const noexcept { return capacity_; }
+  std::int64_t used() const noexcept { return used_; }
+
+  /// Writes (or replaces) a named scratch file. Throws when the disk would
+  /// overflow.
+  void write(const std::string& name, azure::Payload data) {
+    std::int64_t delta = data.size();
+    if (auto it = files_.find(name); it != files_.end()) {
+      delta -= it->second.size();
+    }
+    if (used_ + delta > capacity_) {
+      throw azure::InvalidArgumentError("local storage full: " + name);
+    }
+    used_ += delta;
+    files_[name] = std::move(data);
+  }
+
+  std::optional<azure::Payload> read(const std::string& name) const {
+    auto it = files_.find(name);
+    if (it == files_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool remove(const std::string& name) {
+    auto it = files_.find(name);
+    if (it == files_.end()) return false;
+    used_ -= it->second.size();
+    files_.erase(it);
+    return true;
+  }
+
+  std::size_t file_count() const noexcept { return files_.size(); }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::map<std::string, azure::Payload> files_;
+};
+
+}  // namespace fabric

@@ -1,0 +1,57 @@
+// Windows Azure compute instance sizes — Table I of the paper.
+//
+// | VM Size     | CPU Cores | Memory | Storage  |
+// |-------------|-----------|--------|----------|
+// | Extra Small | Shared    | 768 MB | 20 GB    |
+// | Small       | 1         | 1.75GB | 225 GB   |
+// | Medium      | 2         | 3.5 GB | 490 GB   |
+// | Large       | 4         | 7 GB   | 1000 GB  |
+// | Extra Large | 8         | 14 GB  | 2040 GB  |
+//
+// NIC allocations are not in Table I; they follow the contemporaneous Azure
+// documentation (5 Mbps for Extra Small, then 100 Mbps per core).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netsim/nic.hpp"
+#include "simcore/time.hpp"
+
+namespace fabric {
+
+enum class VmSize { kExtraSmall, kSmall, kMedium, kLarge, kExtraLarge };
+
+struct VmSpec {
+  std::string_view name;
+  double cpu_cores;  // 0.5 models the "shared" core of Extra Small
+  std::int64_t memory_mb;
+  std::int64_t local_storage_gb;
+  double nic_mbps;
+};
+
+constexpr VmSpec spec_of(VmSize size) {
+  switch (size) {
+    case VmSize::kExtraSmall:
+      return {"Extra Small", 0.5, 768, 20, 5.0};
+    case VmSize::kSmall:
+      return {"Small", 1.0, 1'792, 225, 100.0};
+    case VmSize::kMedium:
+      return {"Medium", 2.0, 3'584, 490, 200.0};
+    case VmSize::kLarge:
+      return {"Large", 4.0, 7'168, 1'000, 400.0};
+    case VmSize::kExtraLarge:
+      return {"Extra Large", 8.0, 14'336, 2'040, 800.0};
+  }
+  return {"Unknown", 0, 0, 0, 0};
+}
+
+/// NIC configuration for a role instance of the given size.
+inline netsim::NicConfig nic_config_of(VmSize size) {
+  const VmSpec spec = spec_of(size);
+  const double bytes_per_sec = spec.nic_mbps * 1'000'000.0 / 8.0;
+  return netsim::NicConfig{bytes_per_sec, bytes_per_sec, sim::micros(50),
+                           /*burst_bytes=*/64 * 1024.0};
+}
+
+}  // namespace fabric

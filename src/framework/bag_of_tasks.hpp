@@ -1,0 +1,279 @@
+// The paper's generic application framework for scientific applications on
+// Azure (Section III, Fig. 3):
+//
+//   user input -> web role -> Task Assignment Queue(s) -> worker roles
+//                                   |                          |
+//                                   v                          v
+//                              Blob/Table storage   Termination Indicator Queue
+//
+// * the web role enqueues task descriptors on one or more task-assignment
+//   queues (several queues when parameter sets differ — and because a single
+//   queue caps at 500 messages/s, sharding improves scalability);
+// * task payloads above the 48 KB usable message limit spill into Blob
+//   storage automatically, with the blob name travelling on the queue (the
+//   paper's recommended pattern);
+// * workers poll the task queues, process messages, and signal each
+//   completed phase on the termination-indicator queue;
+// * the web role reads the termination queue's message count to track
+//   progress (FIFO is not guaranteed, so an in-band "end of work" message
+//   would be unreliable — the dedicated queue is the robust pattern).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "azure/cloud_storage_account.hpp"
+#include "azure/common/limits.hpp"
+#include "azure/common/retry.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace framework {
+
+struct BagOfTasksConfig {
+  /// Number of task-assignment queues tasks are round-robined across.
+  int task_queue_shards = 1;
+  std::string task_queue_prefix = "task-assignment";
+  std::string termination_queue = "termination-indicator";
+  /// Container used for task payloads that exceed the queue message limit.
+  std::string spill_container = "task-payloads";
+  /// Visibility timeout while a worker processes a task; the task reappears
+  /// for another worker if the first one dies (the queue's built-in fault
+  /// tolerance the paper highlights).
+  sim::Duration task_visibility_timeout = sim::seconds(120);
+  /// How long an idle worker sleeps before re-polling an empty queue.
+  sim::Duration idle_poll_interval = sim::kSecond;
+  /// While a handler runs, the worker renews the task's lease (via
+  /// UpdateMessage) every half visibility-timeout, so tasks longer than the
+  /// timeout are not re-delivered to another worker. Set false to get the
+  /// bare 2010-era behaviour (and duplicate execution of long tasks).
+  bool renew_task_leases = true;
+};
+
+/// One task as seen by a worker.
+struct TaskDescriptor {
+  std::string body;       // inline descriptor, or resolved spill payload
+  std::int64_t bytes = 0; // payload size (inline or spilled)
+};
+
+class BagOfTasksApp {
+ public:
+  /// A worker's task handler.
+  using Handler =
+      std::function<sim::Task<void>(const TaskDescriptor&)>;
+
+  BagOfTasksApp(azure::CloudStorageAccount account, BagOfTasksConfig cfg = {})
+      : account_(account), cfg_(std::move(cfg)) {}
+
+  const BagOfTasksConfig& config() const noexcept { return cfg_; }
+
+  // ------------------------------------------------------- web role side --
+
+  /// Creates the queues and the spill container. Call once before use.
+  sim::Task<void> provision() {
+    auto queues = account_.create_cloud_queue_client();
+    for (int i = 0; i < cfg_.task_queue_shards; ++i) {
+      co_await queues.get_queue_reference(shard_name(i))
+          .create_if_not_exists();
+    }
+    co_await queues.get_queue_reference(cfg_.termination_queue)
+        .create_if_not_exists();
+    co_await account_.create_cloud_blob_client()
+        .get_container_reference(cfg_.spill_container)
+        .create_if_not_exists();
+  }
+
+  /// Enqueues one task. Oversized descriptors spill into Blob storage.
+  sim::Task<void> submit(std::string body) {
+    auto& sim = account_.environment().simulation();
+    auto queues = account_.create_cloud_queue_client();
+    auto q = queues.get_queue_reference(shard_name(next_shard_));
+    next_shard_ = (next_shard_ + 1) % cfg_.task_queue_shards;
+    const std::int64_t id = next_task_id_++;
+
+    if (static_cast<std::int64_t>(body.size()) >
+        azure::limits::kMaxMessagePayloadBytes) {
+      const std::string blob_name = "task-" + std::to_string(id);
+      auto blob = account_.create_cloud_blob_client()
+                      .get_container_reference(cfg_.spill_container)
+                      .get_block_blob_reference(blob_name);
+      co_await azure::with_retry(sim, [&] {
+        return blob.upload_text(azure::Payload::bytes(body));
+      });
+      co_await azure::with_retry(sim, [&] {
+        return q.add_message(
+            azure::Payload::bytes(std::string(kSpillMarker) + blob_name));
+      });
+    } else {
+      co_await azure::with_retry(
+          sim, [&] { return q.add_message(azure::Payload::bytes(body)); });
+    }
+    ++submitted_;
+  }
+
+  /// Progress so far: number of phase-completion signals workers have put
+  /// on the termination-indicator queue.
+  sim::Task<std::int64_t> completed_count() {
+    auto q = account_.create_cloud_queue_client().get_queue_reference(
+        cfg_.termination_queue);
+    co_return co_await q.get_message_count();
+  }
+
+  /// Blocks (in virtual time) until `expected` completions are signalled.
+  sim::Task<void> wait_for_completion(std::int64_t expected) {
+    auto& sim = account_.environment().simulation();
+    for (;;) {
+      const std::int64_t done = co_await completed_count();
+      if (done >= expected) co_return;
+      co_await sim.delay(cfg_.idle_poll_interval);
+    }
+  }
+
+  std::int64_t submitted() const noexcept { return submitted_; }
+
+  // ------------------------------------------------------ worker role side --
+
+  /// Processes tasks until `tasks_to_process` tasks are handled (or forever
+  /// when -1 until the queues stay empty and `stop_when_idle` rounds pass).
+  ///
+  /// Each worker drains its shards round-robin; every completed task is
+  /// signalled on the termination-indicator queue.
+  sim::Task<void> worker_loop(azure::CloudStorageAccount worker_account,
+                              Handler handler,
+                              int max_idle_polls = 3) {
+    auto& sim = worker_account.environment().simulation();
+    auto queues = worker_account.create_cloud_queue_client();
+    auto termination =
+        queues.get_queue_reference(cfg_.termination_queue);
+    int idle_polls = 0;
+    int shard = 0;
+    while (idle_polls < max_idle_polls) {
+      auto q = queues.get_queue_reference(shard_name(shard));
+      shard = (shard + 1) % cfg_.task_queue_shards;
+      std::optional<azure::QueueMessage> msg;
+      bool not_provisioned = false;
+      try {
+        msg = co_await azure::with_retry(sim, [&] {
+          return q.get_message(cfg_.task_visibility_timeout);
+        });
+      } catch (const azure::NotFoundError&) {
+        // Workers may boot before the web role has provisioned the queues;
+        // treat that like an empty poll.
+        not_provisioned = true;
+      }
+      if (not_provisioned || !msg.has_value()) {
+        ++idle_polls;
+        co_await sim.delay(cfg_.idle_poll_interval);
+        continue;
+      }
+      idle_polls = 0;
+
+      TaskDescriptor task = co_await resolve(worker_account, msg->body);
+
+      // Renew the task's lease concurrently while the handler runs, so a
+      // slow task is not re-delivered to another worker mid-flight.
+      azure::QueueMessage current = *msg;
+      bool handler_done = false;
+      bool lease_lost = false;
+      sim::WaitGroup renewal(sim);
+      if (cfg_.renew_task_leases) {
+        renewal.add();
+        sim.spawn(renew_lease(sim, q, current, handler_done, lease_lost,
+                              renewal));
+      }
+      co_await handler(task);
+      handler_done = true;
+      if (cfg_.renew_task_leases) co_await renewal.wait();
+
+      // Consumers delete after processing; if a worker died here, the
+      // message would reappear after the visibility timeout. When the
+      // lease was lost (e.g. renewal raced a reappearance), another worker
+      // owns the task now and will signal its completion instead.
+      if (!lease_lost) {
+        bool still_owned = true;
+        try {
+          co_await q.delete_message(current);
+        } catch (const azure::PreconditionFailedError&) {
+          still_owned = false;
+        } catch (const azure::NotFoundError&) {
+          still_owned = false;
+        }
+        if (still_owned) {
+          co_await azure::with_retry(sim, [&] {
+            return termination.add_message(azure::Payload::bytes("done"));
+          });
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr std::string_view kSpillMarker = "\x01spill:";
+
+  /// Background lease renewal: refreshes the message's visibility every
+  /// half timeout until the handler finishes (or the lease is lost).
+  sim::Task<void> renew_lease(sim::Simulation& sim, azure::CloudQueue queue,
+                              azure::QueueMessage& current,
+                              const bool& handler_done, bool& lease_lost,
+                              sim::WaitGroup& done_group) {
+    const sim::Duration half = cfg_.task_visibility_timeout / 2;
+    const sim::Duration tick =
+        std::min<sim::Duration>(half, sim::millis(500));
+    for (;;) {
+      sim::Duration waited = 0;
+      while (!handler_done && waited < half) {
+        co_await sim.delay(tick);
+        waited += tick;
+      }
+      if (handler_done) break;
+      bool lost = false;
+      try {
+        // ServerBusy is retried inside; a stale receipt or a vanished
+        // message means the lease is genuinely gone.
+        current = co_await azure::with_retry(sim, [&] {
+          return queue.update_message(current, cfg_.task_visibility_timeout);
+        });
+      } catch (const azure::PreconditionFailedError&) {
+        lost = true;
+      } catch (const azure::NotFoundError&) {
+        lost = true;
+      }
+      if (lost) {
+        lease_lost = true;
+        break;
+      }
+    }
+    done_group.done();
+  }
+
+  std::string shard_name(int i) const {
+    return cfg_.task_queue_prefix + "-" + std::to_string(i);
+  }
+
+  sim::Task<TaskDescriptor> resolve(azure::CloudStorageAccount account,
+                                    const azure::Payload& message) {
+    const std::string& text = message.data();
+    if (text.rfind(kSpillMarker, 0) == 0) {
+      const std::string blob_name = text.substr(kSpillMarker.size());
+      auto blob = account.create_cloud_blob_client()
+                      .get_container_reference(cfg_.spill_container)
+                      .get_block_blob_reference(blob_name);
+      auto payload = co_await blob.download_text();
+      co_return TaskDescriptor{payload.data(), payload.size()};
+    }
+    co_return TaskDescriptor{text, message.size()};
+  }
+
+  azure::CloudStorageAccount account_;
+  BagOfTasksConfig cfg_;
+  int next_shard_ = 0;
+  std::int64_t next_task_id_ = 0;
+  std::int64_t submitted_ = 0;
+};
+
+}  // namespace framework

@@ -1,0 +1,59 @@
+// Datacenter network model: store-and-forward transfers between NICs over a
+// switched fabric with a fixed propagation latency.
+//
+// The model intentionally stays at flow level (no packets): a transfer pays
+// the sender's uplink occupancy, the fabric propagation delay, then the
+// receiver's downlink occupancy. This is the standard fluid approximation
+// used by datacenter simulators and is exact for the long sequential
+// transfers the benchmarks issue.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/nic.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace netsim {
+
+struct NetworkConfig {
+  /// One-way propagation + switching delay inside the datacenter.
+  sim::Duration propagation = sim::micros(250);
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, const NetworkConfig& cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+
+  sim::Simulation& simulation() const noexcept { return sim_; }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+
+  /// Transfers `bytes` from `src` to `dst` (0 bytes = a control message that
+  /// only pays NIC latency + propagation).
+  sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
+    if (bytes > 0) co_await src.send(bytes);
+    co_await sim_.delay(src.config().latency + cfg_.propagation +
+                        dst.config().latency);
+    if (bytes > 0) co_await dst.receive(bytes);
+    ++transfers_;
+    bytes_moved_ += bytes;
+  }
+
+  /// One-way control-plane delay (request or response header).
+  sim::Task<void> control_hop(Nic& src, Nic& dst) {
+    co_await transfer(src, dst, 0);
+  }
+
+  std::int64_t transfers() const noexcept { return transfers_; }
+  std::int64_t bytes_moved() const noexcept { return bytes_moved_; }
+
+ private:
+  sim::Simulation& sim_;
+  NetworkConfig cfg_;
+  std::int64_t transfers_ = 0;
+  std::int64_t bytes_moved_ = 0;
+};
+
+}  // namespace netsim

@@ -1,0 +1,72 @@
+#include "simcore/simulation.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sim {
+
+void Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+detail::Detached Simulation::run_process(
+    Task<void> task, std::shared_ptr<detail::ProcessState> st) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    st->error = std::current_exception();
+    if (!first_error_) first_error_ = st->error;
+  }
+  st->done = true;
+  --live_processes_;
+  for (auto j : st->joiners) schedule_resume(now_, j);
+  st->joiners.clear();
+}
+
+ProcessHandle Simulation::spawn(Task<void> task, std::string name) {
+  auto st = std::make_shared<detail::ProcessState>();
+  st->name = std::move(name);
+  ++live_processes_;
+  auto d = run_process(std::move(task), st);
+  schedule_at(now_, [h = d.handle] { h.resume(); });
+  return ProcessHandle{std::move(st)};
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast of the handle is
+  // UB-adjacent, so copy the small struct members we need instead.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  while (!first_error_ && step()) {
+  }
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+bool Simulation::run_until(TimePoint t) {
+  while (!first_error_ && !queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+}  // namespace sim

@@ -1,0 +1,171 @@
+// The discrete-event simulation engine: a virtual clock plus an ordered
+// event queue of resumable callbacks.
+//
+// Processes are `sim::Task<void>` coroutines registered with `spawn()`.
+// Same-timestamp events run in scheduling order (a monotonically increasing
+// sequence number breaks ties), which makes every run deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace sim {
+
+class Simulation;
+
+namespace detail {
+
+/// State shared between a running root process and its ProcessHandle(s).
+struct ProcessState {
+  bool done = false;
+  std::exception_ptr error{};
+  std::vector<std::coroutine_handle<>> joiners;
+  std::string name;
+};
+
+/// Fire-and-forget coroutine wrapper used by Simulation::spawn. The frame
+/// destroys itself at final_suspend.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<> handle;
+};
+
+}  // namespace detail
+
+/// A joinable reference to a spawned root process.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  bool done() const { return state_ && state_->done; }
+  const std::string& name() const { return state_->name; }
+
+  /// Awaitable: suspends the caller until the process finishes. Rethrows
+  /// nothing itself — process failures are surfaced by Simulation::run().
+  auto join() noexcept {
+    struct Awaiter {
+      std::shared_ptr<detail::ProcessState> st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        st->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  friend class Simulation;
+  ProcessHandle(std::shared_ptr<detail::ProcessState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+/// The simulation engine. Not thread-safe by design: a simulation is a
+/// single-threaded deterministic event loop; parallelism inside the modeled
+/// world is expressed with coroutine processes, not host threads.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedules an arbitrary callback at `at` (must be >= now()).
+  void schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules a callback `delay` from now.
+  void schedule_in(Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules resumption of a suspended coroutine.
+  void schedule_resume(TimePoint at, std::coroutine_handle<> h) {
+    schedule_at(at, [h] { h.resume(); });
+  }
+
+  /// Awaitable that suspends the caller for `d` of virtual time.
+  /// `delay(0)` still yields through the event queue (a fair "yield").
+  auto delay(Duration d) noexcept {
+    struct Awaiter {
+      Simulation& sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_resume(sim.now_ + (d < 0 ? 0 : d), h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that suspends the caller until absolute time `t` (or yields
+  /// immediately through the queue if `t` is in the past).
+  auto delay_until(TimePoint t) noexcept {
+    return delay(t > now_ ? t - now_ : 0);
+  }
+
+  /// Registers a root process; it starts at the current virtual time.
+  ProcessHandle spawn(Task<void> task, std::string name = {});
+
+  /// Runs until the event queue is empty (or a process failed).
+  /// Rethrows the first exception that escaped any root process.
+  void run();
+
+  /// Runs until virtual time would exceed `t`; the clock is left at
+  /// min(t, time of last executed event). Returns true if events remain.
+  bool run_until(TimePoint t);
+
+  /// Executes a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Number of events executed so far (for kernel microbenchmarks).
+  std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  /// Number of still-live root processes.
+  int live_processes() const noexcept { return live_processes_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  detail::Detached run_process(Task<void> task,
+                               std::shared_ptr<detail::ProcessState> st);
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  int live_processes_ = 0;
+  std::exception_ptr first_error_{};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sim

@@ -1,0 +1,102 @@
+// Lightweight statistics accumulators used by services (metrics) and by the
+// benchmark harness (reported series).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sim {
+
+/// Streaming mean/min/max/variance (Welford). O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::int64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const OnlineStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * o.mean_) / (n1 + n2);
+    m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles. Intended for per-op latency
+/// distributions at benchmark scale (tens of thousands of samples).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  const OnlineStats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Exact percentile by nearest-rank (p in [0, 100]).
+  double percentile(double p) {
+    if (values_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+  OnlineStats stats_;
+  bool sorted_ = true;
+};
+
+}  // namespace sim

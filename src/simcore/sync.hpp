@@ -1,0 +1,84 @@
+// Coordination primitives for simulated processes: Gate (broadcast event)
+// and WaitGroup (barrier on N completions).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+
+namespace sim {
+
+/// A one-shot (resettable) broadcast event. `wait()` suspends until `set()`.
+class Gate {
+ public:
+  explicit Gate(Simulation& sim) : sim_(sim) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+  ~Gate() { assert(waiters_.empty() && "gate destroyed with waiters"); }
+
+  bool is_set() const noexcept { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_.schedule_resume(sim_.now(), h);
+    waiters_.clear();
+  }
+
+  /// Re-arms the gate. Only valid when no one is waiting.
+  void reset() noexcept {
+    assert(waiters_.empty());
+    set_ = false;
+  }
+
+  auto wait() noexcept {
+    struct Awaiter {
+      Gate& g;
+      bool await_ready() const noexcept { return g.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        g.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Waits for a dynamic count of completions (like Go's sync.WaitGroup).
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : gate_(sim) {}
+
+  void add(int n = 1) {
+    assert(!gate_.is_set() || count_ == 0);
+    if (gate_.is_set()) gate_.reset();
+    count_ += n;
+  }
+
+  void done() {
+    assert(count_ > 0);
+    if (--count_ == 0) gate_.set();
+  }
+
+  int pending() const noexcept { return count_; }
+
+  /// Awaitable: resumes when the count reaches zero. If the count is already
+  /// zero, resumes immediately.
+  auto wait() noexcept {
+    if (count_ == 0) gate_.set();
+    return gate_.wait();
+  }
+
+ private:
+  Gate gate_;
+  int count_ = 0;
+};
+
+}  // namespace sim

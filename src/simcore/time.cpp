@@ -1,0 +1,23 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(d));
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(d));
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3fus",
+                  static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace sim

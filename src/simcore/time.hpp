@@ -1,0 +1,52 @@
+// Virtual-time types for the discrete-event simulation kernel.
+//
+// All simulation time is kept as integer nanoseconds so that event ordering
+// is exact and runs are bit-reproducible across platforms (no floating-point
+// clock drift).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Builds a Duration from a (possibly fractional) count of seconds.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Builds a Duration from a (possibly fractional) count of milliseconds.
+constexpr Duration millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Builds a Duration from a (possibly fractional) count of microseconds.
+constexpr Duration micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Converts a Duration to fractional seconds (for reporting/throughput math).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a Duration to fractional milliseconds.
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Human-readable rendering, e.g. "12.5ms", "3.2s". Intended for logs.
+std::string format_duration(Duration d);
+
+}  // namespace sim

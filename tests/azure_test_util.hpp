@@ -1,0 +1,57 @@
+// Shared fixture for tests driving the azure SDK inside a simulation.
+#pragma once
+
+#include <string>
+
+#include "azure/cloud_storage_account.hpp"
+#include "azure/environment.hpp"
+#include "netsim/nic.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/task.hpp"
+
+/// Coroutine-safe fatal assertions: gtest's ASSERT_* macros expand to a bare
+/// `return`, which is ill-formed inside a coroutine; these record the failure
+/// and co_return instead.
+#define CO_ASSERT_TRUE(cond)             \
+  do {                                   \
+    const bool azb_c_ = static_cast<bool>(cond); \
+    EXPECT_TRUE(azb_c_) << #cond;        \
+    if (!azb_c_) co_return;              \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)          \
+  do {                              \
+    const bool azb_c_ = ((a) == (b)); \
+    EXPECT_EQ(a, b);                \
+    if (!azb_c_) co_return;         \
+  } while (0)
+
+namespace azb_test {
+
+inline netsim::NicConfig default_client_nic() {
+  // A generously-provisioned client so tests measure service behaviour,
+  // not client NIC occupancy.
+  return netsim::NicConfig{100e6, 100e6, sim::micros(50), 64 * 1024.0};
+}
+
+/// One simulated cloud + one client VM endpoint.
+struct TestWorld {
+  explicit TestWorld(const azure::CloudConfig& cfg = {})
+      : env(sim, cfg), nic(sim, default_client_nic()), account(env, nic) {}
+
+  sim::Simulation sim;
+  azure::CloudEnvironment env;
+  netsim::Nic nic;
+  azure::CloudStorageAccount account;
+};
+
+/// Spawns `body(world)` as the root process and runs to completion.
+template <class Body>
+void run(TestWorld& w, Body body) {
+  w.sim.spawn(body(w));
+  w.sim.run();
+}
+
+inline std::string text_of(const azure::Payload& p) { return p.data(); }
+
+}  // namespace azb_test

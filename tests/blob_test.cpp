@@ -1,0 +1,498 @@
+// Unit tests for Blob storage semantics and its timing model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "azure_test_util.hpp"
+#include "azure/common/errors.hpp"
+#include "azure/common/limits.hpp"
+#include "simcore/sync.hpp"
+
+namespace {
+
+using azb_test::TestWorld;
+using azure::Payload;
+using sim::Task;
+using sim::TimePoint;
+
+// ------------------------------------------------------------ containers ----
+
+TEST(BlobContainerTest, CreateExistsDelete) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto client = t.account.create_cloud_blob_client();
+    auto c = client.get_container_reference("data");
+    EXPECT_FALSE(co_await c.exists());
+    co_await c.create();
+    EXPECT_TRUE(co_await c.exists());
+    co_await c.delete_container();
+    EXPECT_FALSE(co_await c.exists());
+  });
+}
+
+TEST(BlobContainerTest, DoubleCreateConflicts) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("x");
+    co_await c.create();
+    EXPECT_THROW(co_await c.create(), azure::ConflictError);
+    co_await c.create_if_not_exists();  // no throw
+  });
+}
+
+TEST(BlobContainerTest, DeleteMissingThrowsNotFound) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("x");
+    EXPECT_THROW(co_await c.delete_container(), azure::NotFoundError);
+  });
+}
+
+TEST(BlobContainerTest, ListBlobsReturnsNames) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    co_await c.get_block_blob_reference("b").upload_text(
+        Payload::bytes("one"));
+    co_await c.get_block_blob_reference("a").upload_text(
+        Payload::bytes("two"));
+    const auto names = co_await c.list_blobs();
+    EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  });
+}
+
+// ------------------------------------------------------------ block blob ----
+
+TEST(BlockBlobTest, SingleShotUploadRoundtrips) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("greeting");
+    co_await blob.upload_text(Payload::bytes("hello, azure"));
+    const auto back = co_await blob.download_text();
+    EXPECT_EQ(back.data(), "hello, azure");
+  });
+}
+
+TEST(BlockBlobTest, SingleShotOver64MBRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("big");
+    EXPECT_THROW(
+        co_await blob.upload_text(Payload::synthetic(65ll * 1024 * 1024)),
+        azure::InvalidArgumentError);
+  });
+}
+
+TEST(BlockBlobTest, BlockUploadCommitRoundtrip) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("chunks");
+    co_await blob.put_block("b1", Payload::bytes("AAAA"));
+    co_await blob.put_block("b2", Payload::bytes("BBBB"));
+    co_await blob.put_block("b3", Payload::bytes("CCCC"));
+    // Commit in a different order than staged.
+    const std::vector<std::string> ids1 = {"b3", "b1"};
+    co_await blob.put_block_list(ids1);
+    const auto back = co_await blob.download_text();
+    EXPECT_EQ(back.data(), "CCCCAAAA");
+    const auto props = co_await blob.get_properties();
+    EXPECT_EQ(props.size, 8);
+    EXPECT_EQ(props.committed_blocks, 2);
+  });
+}
+
+TEST(BlockBlobTest, UncommittedBlocksInvisible) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("staged");
+    co_await blob.put_block("b1", Payload::bytes("data"));
+    const auto props = co_await blob.get_properties();
+    EXPECT_EQ(props.size, 0);
+    EXPECT_EQ(props.committed_blocks, 0);
+  });
+}
+
+TEST(BlockBlobTest, RecommitReusesCommittedBlocks) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    co_await blob.put_block("b1", Payload::bytes("one"));
+    co_await blob.put_block("b2", Payload::bytes("two"));
+    const std::vector<std::string> ids2 = {"b1", "b2"};
+    co_await blob.put_block_list(ids2);
+    // Uncommitted set is cleared by commit; committing again must resolve
+    // ids from the committed list.
+    const std::vector<std::string> ids3 = {"b2"};
+    co_await blob.put_block_list(ids3);
+    const auto back = co_await blob.download_text();
+    EXPECT_EQ(back.data(), "two");
+  });
+}
+
+TEST(BlockBlobTest, UnknownBlockIdRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    co_await blob.put_block("b1", Payload::bytes("x"));
+    const std::vector<std::string> ids4 = {"nope"};
+    EXPECT_THROW(co_await blob.put_block_list(ids4),
+                 azure::InvalidArgumentError);
+  });
+}
+
+TEST(BlockBlobTest, BlockOver4MBRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    EXPECT_THROW(
+        co_await blob.put_block(
+            "big", Payload::synthetic(azure::limits::kMaxBlockBytes + 1)),
+        azure::InvalidArgumentError);
+  });
+}
+
+TEST(BlockBlobTest, BlockListOver50kRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    co_await blob.put_block("b1", Payload::bytes("x"));
+    std::vector<std::string> ids(50'001, "b1");
+    EXPECT_THROW(co_await blob.put_block_list(ids),
+                 azure::InvalidArgumentError);
+  });
+}
+
+TEST(BlockBlobTest, GetBlockSequentialRead) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    co_await blob.put_block("b1", Payload::bytes("alpha"));
+    co_await blob.put_block("b2", Payload::bytes("beta"));
+    const std::vector<std::string> ids5 = {"b1", "b2"};
+    co_await blob.put_block_list(ids5);
+    EXPECT_EQ((co_await blob.get_block(0)).data(), "alpha");
+    EXPECT_EQ((co_await blob.get_block(1)).data(), "beta");
+    EXPECT_THROW(co_await blob.get_block(2), azure::InvalidArgumentError);
+  });
+}
+
+TEST(BlockBlobTest, SyntheticPayloadTracksSizeOnly) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("syn");
+    co_await blob.put_block("b1", Payload::synthetic(1 << 20));
+    const std::vector<std::string> ids6 = {"b1"};
+    co_await blob.put_block_list(ids6);
+    const auto back = co_await blob.download_text();
+    EXPECT_TRUE(back.is_synthetic());
+    EXPECT_EQ(back.size(), 1 << 20);
+  });
+}
+
+// ------------------------------------------------------------- page blob ----
+
+TEST(PageBlobTest, CreateValidation) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    EXPECT_THROW(co_await blob.create(1000),  // not 512-aligned
+                 azure::InvalidArgumentError);
+    EXPECT_THROW(co_await blob.create((1ll << 40) + 512),  // > 1 TB
+                 azure::InvalidArgumentError);
+    co_await blob.create(1 << 20);
+    EXPECT_TRUE(co_await blob.exists());
+  });
+}
+
+TEST(PageBlobTest, PutPageValidation) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(1 << 20);
+    EXPECT_THROW(co_await blob.put_page(100, Payload::synthetic(512)),
+                 azure::InvalidArgumentError);  // misaligned offset
+    EXPECT_THROW(co_await blob.put_page(0, Payload::synthetic(100)),
+                 azure::InvalidArgumentError);  // misaligned length
+    EXPECT_THROW(
+        co_await blob.put_page(0, Payload::synthetic(5ll * 1024 * 1024)),
+        azure::InvalidArgumentError);  // > 4 MB per call
+    EXPECT_THROW(co_await blob.put_page(1 << 20, Payload::synthetic(512)),
+                 azure::InvalidArgumentError);  // beyond blob size
+  });
+}
+
+TEST(PageBlobTest, RandomAccessRoundtrip) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(4096);
+    co_await blob.put_page(1024, Payload::bytes(std::string(512, 'x')));
+    const auto back = co_await blob.get_page(1024, 512);
+    EXPECT_EQ(back.data(), std::string(512, 'x'));
+  });
+}
+
+TEST(PageBlobTest, UnwrittenRangesReadAsZeros) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(4096);
+    co_await blob.put_page(512, Payload::bytes(std::string(512, 'x')));
+    const auto back = co_await blob.get_page(0, 1536);
+    const std::string expect =
+        std::string(512, '\0') + std::string(512, 'x') + std::string(512, '\0');
+    EXPECT_EQ(back.data(), expect);
+  });
+}
+
+TEST(PageBlobTest, OverlappingWriteWins) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(4096);
+    co_await blob.put_page(0, Payload::bytes(std::string(1024, 'a')));
+    co_await blob.put_page(512, Payload::bytes(std::string(1024, 'b')));
+    const auto back = co_await blob.get_page(0, 2048);
+    const std::string expect = std::string(512, 'a') + std::string(1024, 'b') +
+                               std::string(512, '\0');
+    EXPECT_EQ(back.data(), expect);
+  });
+}
+
+TEST(PageBlobTest, InteriorOverwriteSplitsExistingRange) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(4096);
+    co_await blob.put_page(0, Payload::bytes(std::string(2048, 'a')));
+    co_await blob.put_page(512, Payload::bytes(std::string(512, 'b')));
+    const auto back = co_await blob.get_page(0, 2048);
+    const std::string expect = std::string(512, 'a') + std::string(512, 'b') +
+                               std::string(1024, 'a');
+    EXPECT_EQ(back.data(), expect);
+  });
+}
+
+TEST(PageBlobTest, OpenReadStreamsWrittenExtent) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("p");
+    co_await blob.create(1 << 20);
+    co_await blob.put_page(0, Payload::bytes(std::string(512, 'q')));
+    co_await blob.put_page(1024, Payload::bytes(std::string(512, 'r')));
+    const auto all = co_await blob.open_read();
+    CO_ASSERT_EQ(all.size(), 1536);
+    EXPECT_EQ(all.data().substr(0, 512), std::string(512, 'q'));
+    EXPECT_EQ(all.data().substr(512, 512), std::string(512, '\0'));
+    EXPECT_EQ(all.data().substr(1024, 512), std::string(512, 'r'));
+    const auto props = co_await blob.get_properties();
+    EXPECT_EQ(props.content_length, 1536);
+    EXPECT_EQ(props.size, 1 << 20);
+  });
+}
+
+TEST(PageBlobTest, KindMismatchRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    co_await c.get_block_blob_reference("b").upload_text(Payload::bytes("x"));
+    auto as_page = c.get_page_blob_reference("b");
+    EXPECT_THROW(co_await as_page.put_page(0, Payload::synthetic(512)),
+                 azure::InvalidArgumentError);
+  });
+}
+
+// ------------------------------------------------------------ lifecycle ----
+
+TEST(BlobTest, DeleteBlobRemovesIt) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("b");
+    co_await blob.upload_text(Payload::bytes("x"));
+    EXPECT_TRUE(co_await blob.exists());
+    co_await blob.delete_blob();
+    EXPECT_FALSE(co_await blob.exists());
+    EXPECT_THROW(co_await blob.delete_blob(), azure::NotFoundError);
+    EXPECT_THROW(co_await blob.download_text(), azure::NotFoundError);
+  });
+}
+
+// ----------------------------------------------------------- timing model ----
+
+TEST(BlobTimingTest, PageUploadFasterThanBlockUploadUnderConcurrency) {
+  // The paper: page upload saturates ~60 MB/s, block upload ~21 MB/s,
+  // because staged blocks pay a serialized block-index append.
+  auto measure = [](bool use_pages) {
+    TestWorld w;
+    sim::WaitGroup wg(w.sim);
+    constexpr int kWorkers = 8;
+    constexpr int kChunks = 4;  // 1 MB each, per worker
+    auto worker = [](TestWorld& t, sim::WaitGroup& g, int id,
+                     bool pages) -> Task<> {
+      auto c =
+          t.account.create_cloud_blob_client().get_container_reference("c");
+      if (pages) {
+        auto blob = c.get_page_blob_reference("shared");
+        for (int k = 0; k < kChunks; ++k) {
+          const std::int64_t off = (id * kChunks + k) * (1ll << 20);
+          co_await blob.put_page(off, azure::Payload::synthetic(1 << 20));
+        }
+      } else {
+        auto blob = c.get_block_blob_reference("shared");
+        for (int k = 0; k < kChunks; ++k) {
+          co_await blob.put_block("blk-" + std::to_string(id * kChunks + k),
+                                  azure::Payload::synthetic(1 << 20));
+        }
+      }
+      g.done();
+    };
+    // Setup: container + blob created by a preparatory process at t=0.
+    w.sim.spawn([](TestWorld& t, bool pages) -> Task<> {
+      auto c =
+          t.account.create_cloud_blob_client().get_container_reference("c");
+      co_await c.create();
+      if (pages) {
+        co_await c.get_page_blob_reference("shared").create(1ll << 30);
+      }
+    }(w, use_pages));
+    w.sim.run();
+    const sim::TimePoint start = w.sim.now();
+    for (int i = 0; i < kWorkers; ++i) {
+      wg.add();
+      w.sim.spawn(worker(w, wg, i, use_pages));
+    }
+    w.sim.run();
+    return w.sim.now() - start;
+  };
+  const auto page_time = measure(true);
+  const auto block_time = measure(false);
+  EXPECT_GT(block_time, page_time);
+  // Roughly the 60/21 ratio from the paper (allow broad tolerance).
+  const double ratio =
+      static_cast<double>(block_time) / static_cast<double>(page_time);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(BlobTimingTest, RandomPageReadSlowerThanSequentialBlockRead) {
+  TestWorld w;
+  TimePoint block_done = 0, page_done = 0;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto bb = c.get_block_blob_reference("bb");
+    co_await bb.put_block("b0", azure::Payload::synthetic(1 << 20));
+    const std::vector<std::string> ids7 = {"b0"};
+    co_await bb.put_block_list(ids7);
+    auto pb = c.get_page_blob_reference("pb");
+    co_await pb.create(1 << 20);
+    co_await pb.put_page(0, azure::Payload::synthetic(1 << 20));
+  });
+  // Sequential block read.
+  {
+    const TimePoint start = w.sim.now();
+    w.sim.spawn([](TestWorld& t) -> Task<> {
+      auto c =
+          t.account.create_cloud_blob_client().get_container_reference("c");
+      (void)co_await c.get_block_blob_reference("bb").get_block(0);
+    }(w));
+    w.sim.run();
+    block_done = w.sim.now() - start;
+  }
+  // Random page read of the same size.
+  {
+    const TimePoint start = w.sim.now();
+    w.sim.spawn([](TestWorld& t) -> Task<> {
+      auto c =
+          t.account.create_cloud_blob_client().get_container_reference("c");
+      (void)co_await c.get_page_blob_reference("pb").get_page(0, 1 << 20,
+                                                              /*random=*/true);
+    }(w));
+    w.sim.run();
+    page_done = w.sim.now() - start;
+  }
+  EXPECT_GT(page_done, block_done);
+}
+
+TEST(BlobTimingTest, ReplicaReadsScaleAggregateDownloadThroughput) {
+  // Ablation: with replica reads off, concurrent full downloads collapse to
+  // a single 60 MB/s stream and take ~3x longer.
+  auto measure = [](bool replica_reads) {
+    azure::CloudConfig cfg;
+    cfg.blob.replica_reads = replica_reads;
+    TestWorld w(cfg);
+    azb_test::run(w, [](TestWorld& t) -> Task<> {
+      auto c =
+          t.account.create_cloud_blob_client().get_container_reference("c");
+      co_await c.create();
+      auto bb = c.get_block_blob_reference("bb");
+      co_await bb.put_block("b0", azure::Payload::synthetic(4 << 20));
+      co_await bb.put_block("b1", azure::Payload::synthetic(4 << 20));
+      const std::vector<std::string> ids8 = {"b0", "b1"};
+      co_await bb.put_block_list(ids8);
+    });
+    const sim::TimePoint start = w.sim.now();
+    // Each worker VM gets its own NIC so the server side is what binds.
+    std::vector<std::unique_ptr<netsim::Nic>> nics;
+    for (int i = 0; i < 6; ++i) {
+      nics.push_back(std::make_unique<netsim::Nic>(
+          w.sim, azb_test::default_client_nic()));
+      w.sim.spawn([](TestWorld& t, netsim::Nic& nic) -> Task<> {
+        azure::CloudStorageAccount account(t.env, nic);
+        auto c =
+            account.create_cloud_blob_client().get_container_reference("c");
+        (void)co_await c.get_block_blob_reference("bb").download_text();
+      }(w, *nics.back()));
+    }
+    w.sim.run();
+    return w.sim.now() - start;
+  };
+  const auto with = measure(true);
+  const auto without = measure(false);
+  EXPECT_GT(without, with);
+  const double speedup =
+      static_cast<double>(without) / static_cast<double>(with);
+  EXPECT_GT(speedup, 2.0);  // ~3 replicas' worth
+  EXPECT_LT(speedup, 4.0);
+}
+
+}  // namespace

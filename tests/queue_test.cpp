@@ -1,0 +1,378 @@
+// Unit tests for Queue storage semantics and its timing model.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "azure_test_util.hpp"
+#include "azure/common/errors.hpp"
+#include "azure/common/limits.hpp"
+#include "azure/common/retry.hpp"
+
+namespace {
+
+using azb_test::TestWorld;
+using azure::Payload;
+using sim::Task;
+using sim::TimePoint;
+
+TEST(QueueTest, CreateExistsDelete) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    EXPECT_FALSE(co_await q.exists());
+    co_await q.create();
+    EXPECT_TRUE(co_await q.exists());
+    EXPECT_THROW(co_await q.create(), azure::ConflictError);
+    co_await q.create_if_not_exists();  // no throw
+    co_await q.delete_queue();
+    EXPECT_FALSE(co_await q.exists());
+    EXPECT_THROW(co_await q.delete_queue(), azure::NotFoundError);
+  });
+}
+
+TEST(QueueTest, PutGetDeleteRoundtrip) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("task-1"));
+    auto msg = co_await q.get_message();
+    CO_ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->body.data(), "task-1");
+    EXPECT_EQ(msg->dequeue_count, 1);
+    EXPECT_FALSE(msg->pop_receipt.empty());
+    co_await q.delete_message(*msg);
+    EXPECT_EQ(co_await q.get_message_count(), 0);
+  });
+}
+
+TEST(QueueTest, GetHidesMessageUntilVisibilityTimeout) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("m"));
+    auto first = co_await q.get_message(sim::seconds(10));
+    CO_ASSERT_TRUE(first.has_value());
+    // Hidden: a second get finds nothing.
+    auto second = co_await q.get_message();
+    EXPECT_FALSE(second.has_value());
+    // Count still includes the invisible message.
+    EXPECT_EQ(co_await q.get_message_count(), 1);
+    // After the visibility timeout it reappears with a higher dequeue count.
+    co_await t.sim.delay(sim::seconds(11));
+    auto again = co_await q.get_message();
+    CO_ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->dequeue_count, 2);
+  });
+}
+
+TEST(QueueTest, StalePopReceiptRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("m"));
+    auto first = co_await q.get_message(sim::seconds(1));
+    CO_ASSERT_TRUE(first.has_value());
+    co_await t.sim.delay(sim::seconds(2));
+    auto second = co_await q.get_message(sim::seconds(30));
+    CO_ASSERT_TRUE(second.has_value());
+    // The first receipt is now stale: the consumer must not delete a message
+    // someone else re-got.
+    EXPECT_THROW(co_await q.delete_message(*first),
+                 azure::PreconditionFailedError);
+    co_await q.delete_message(*second);  // fresh receipt works
+  });
+}
+
+TEST(QueueTest, PeekDoesNotHide) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("m"));
+    auto p1 = co_await q.peek_message();
+    CO_ASSERT_TRUE(p1.has_value());
+    EXPECT_TRUE(p1->pop_receipt.empty());
+    auto p2 = co_await q.peek_message();
+    EXPECT_TRUE(p2.has_value());  // still visible
+    auto g = co_await q.get_message();
+    EXPECT_TRUE(g.has_value());
+  });
+}
+
+TEST(QueueTest, EmptyQueueReturnsNullopt) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    EXPECT_FALSE((co_await q.get_message()).has_value());
+    EXPECT_FALSE((co_await q.peek_message()).has_value());
+  });
+}
+
+TEST(QueueTest, MessagesExpireAfterTtl) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("short-lived"), sim::seconds(5));
+    co_await t.sim.delay(sim::seconds(6));
+    EXPECT_EQ(co_await q.get_message_count(), 0);
+    EXPECT_FALSE((co_await q.get_message()).has_value());
+  });
+}
+
+TEST(QueueTest, DefaultTtlIsSevenDays) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::bytes("week"));
+    co_await t.sim.delay(sim::seconds(6.9 * 24 * 3600));
+    EXPECT_EQ(co_await q.get_message_count(), 1);
+    co_await t.sim.delay(sim::seconds(0.2 * 24 * 3600));
+    EXPECT_EQ(co_await q.get_message_count(), 0);
+  });
+}
+
+TEST(QueueTest, PayloadOver48KBRejected) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    // 49,152 bytes is the precise usable maximum.
+    co_await q.add_message(Payload::synthetic(49'152));
+    EXPECT_THROW(co_await q.add_message(Payload::synthetic(49'153)),
+                 azure::InvalidArgumentError);
+  });
+}
+
+TEST(QueueTest, ThrottleAt500MessagesPerSecond) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+  });
+  // 600 concurrent peeks land in the same one-second window: only 500 are
+  // admitted, the rest see ServerBusy.
+  int busy = 0, ok = 0;
+  for (int i = 0; i < 600; ++i) {
+    w.sim.spawn([](TestWorld& t, int& b, int& o) -> Task<> {
+      auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+      try {
+        (void)co_await q.peek_message();
+        ++o;
+      } catch (const azure::ServerBusyError&) {
+        ++b;
+      }
+    }(w, busy, ok));
+  }
+  w.sim.run();
+  EXPECT_EQ(ok, 500);
+  EXPECT_EQ(busy, 100);
+}
+
+TEST(QueueTest, RetryPolicyRidesOutThrottle) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+  });
+  int completed = 0;
+  for (int i = 0; i < 700; ++i) {
+    w.sim.spawn([](TestWorld& t, int& done) -> Task<> {
+      auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+      co_await azure::with_retry(
+          t.sim, [&] { return q.add_message(Payload::synthetic(64)); });
+      ++done;
+    }(w, completed));
+  }
+  w.sim.run();
+  EXPECT_EQ(completed, 700);
+  // Riding out the 500/s target must have cost at least a second of backoff.
+  EXPECT_GT(w.sim.now(), sim::kSecond);
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    EXPECT_EQ(co_await q.get_message_count(), 700);
+  });
+}
+
+TEST(QueueTest, ClearEmptiesQueue) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    for (int i = 0; i < 5; ++i) {
+      co_await q.add_message(Payload::bytes("m" + std::to_string(i)));
+    }
+    EXPECT_EQ(co_await q.get_message_count(), 5);
+    co_await q.clear();
+    EXPECT_EQ(co_await q.get_message_count(), 0);
+  });
+}
+
+TEST(QueueTest, FifoIsNotGuaranteed) {
+  // With the scramble probability forced high, consumers observe reordering
+  // — the reason the paper dedicates a termination-indicator queue instead
+  // of an in-band "end of work" message.
+  azure::CloudConfig cfg;
+  cfg.queue.fifo_violation_probability = 0.5;
+  TestWorld w(cfg);
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    constexpr int kMessages = 64;
+    for (int i = 0; i < kMessages; ++i) {
+      co_await q.add_message(Payload::bytes(std::to_string(i)));
+    }
+    bool out_of_order = false;
+    int last = -1;
+    for (int i = 0; i < kMessages; ++i) {
+      auto m = co_await q.get_message();
+      CO_ASSERT_TRUE(m.has_value());
+      const int v = std::stoi(m->body.data());
+      if (v < last) out_of_order = true;
+      last = std::max(last, v);
+      co_await q.delete_message(*m);
+    }
+    EXPECT_TRUE(out_of_order);
+  });
+}
+
+TEST(QueueTest, FifoScrambleOffPreservesOrder) {
+  azure::CloudConfig cfg;
+  cfg.queue.fifo_violation_probability = 0.0;
+  TestWorld w(cfg);
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    for (int i = 0; i < 32; ++i) {
+      co_await q.add_message(Payload::bytes(std::to_string(i)));
+    }
+    for (int i = 0; i < 32; ++i) {
+      auto m = co_await q.get_message();
+      CO_ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->body.data(), std::to_string(i));
+      co_await q.delete_message(*m);
+    }
+  });
+}
+
+// ---------------------------------------------------------- timing model ----
+
+namespace timing {
+
+/// Measures one operation's duration inside a fresh world.
+template <class Op>
+sim::Duration measure(TestWorld& w, Op op) {
+  const TimePoint start = w.sim.now();
+  w.sim.spawn(op(w));
+  w.sim.run();
+  return w.sim.now() - start;
+}
+
+}  // namespace timing
+
+TEST(QueueTimingTest, GetCostsMoreThanPutCostsMoreThanPeek) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.create();
+    co_await q.add_message(Payload::synthetic(4096));
+    co_await q.add_message(Payload::synthetic(4096));
+  });
+  const auto put = timing::measure(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    co_await q.add_message(Payload::synthetic(4096));
+  });
+  const auto peek = timing::measure(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    (void)co_await q.peek_message();
+  });
+  const auto get = timing::measure(w, [](TestWorld& t) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+    (void)co_await q.get_message();
+  });
+  EXPECT_GT(get, put);
+  EXPECT_GT(put, peek);
+}
+
+TEST(QueueTimingTest, SixteenKbGetAnomalyReproduced) {
+  auto get_time = [](std::int64_t payload, bool anomaly) {
+    azure::CloudConfig cfg;
+    cfg.queue.model_16k_get_anomaly = anomaly;
+    TestWorld w(cfg);
+    azb_test::run(w, [](TestWorld& t) -> Task<> {
+      auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+      co_await q.create();
+    });
+    // Seed the message at the requested size.
+    struct Ctx {
+      std::int64_t size;
+    };
+    w.sim.spawn([](TestWorld& t, std::int64_t size) -> Task<> {
+      auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+      co_await q.add_message(Payload::synthetic(size));
+    }(w, payload));
+    w.sim.run();
+    const TimePoint start = w.sim.now();
+    w.sim.spawn([](TestWorld& t) -> Task<> {
+      auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+      (void)co_await q.get_message();
+    }(w));
+    w.sim.run();
+    return w.sim.now() - start;
+  };
+  const auto t16 = get_time(16 * 1024, true);
+  const auto t32 = get_time(32 * 1024, true);
+  // The anomaly: 16 KB gets are slower than *larger* 32 KB gets.
+  EXPECT_GT(t16, t32);
+  // Ablation: with the quirk off, 16 KB costs no more than 32 KB (equal when
+  // both transfers fit within NIC burst credit).
+  const auto t16_off = get_time(16 * 1024, false);
+  const auto t32_off = get_time(32 * 1024, false);
+  EXPECT_LE(t16_off, t32_off);
+}
+
+TEST(QueueTimingTest, SeparateQueuesScaleBetterThanShared) {
+  // Fig. 6 vs Fig. 7: per-queue partitions parallelize; a shared queue
+  // serializes at one partition server.
+  auto measure = [](bool shared) {
+    TestWorld w;
+    constexpr int kWorkers = 8;
+    constexpr int kOps = 25;
+    azb_test::run(w, [](TestWorld& t) -> Task<> {
+      auto qc = t.account.create_cloud_queue_client();
+      co_await qc.get_queue_reference("shared").create();
+      for (int i = 0; i < kWorkers; ++i) {
+        co_await qc.get_queue_reference("own-" + std::to_string(i)).create();
+      }
+    });
+    const TimePoint start = w.sim.now();
+    sim::WaitGroup wg(w.sim);
+    for (int i = 0; i < kWorkers; ++i) {
+      wg.add();
+      w.sim.spawn([](TestWorld& t, sim::WaitGroup& g, int id,
+                     bool sh) -> Task<> {
+        auto qc = t.account.create_cloud_queue_client();
+        auto q = qc.get_queue_reference(
+            sh ? "shared" : "own-" + std::to_string(id));
+        for (int k = 0; k < kOps; ++k) {
+          co_await azure::with_retry(t.sim, [&] {
+            return q.add_message(azure::Payload::synthetic(4096));
+          });
+        }
+        g.done();
+      }(w, wg, i, shared));
+    }
+    w.sim.spawn([](sim::WaitGroup& g) -> Task<> { co_await g.wait(); }(wg));
+    w.sim.run();
+    return w.sim.now() - start;
+  };
+  EXPECT_GT(measure(true), measure(false));
+}
+
+}  // namespace

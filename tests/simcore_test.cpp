@@ -1,0 +1,613 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simcore/random.hpp"
+#include "simcore/rate_limiter.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/sync.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Task;
+using sim::TimePoint;
+
+// ---------------------------------------------------------------- clock ----
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(SimulationTest, DelayAdvancesVirtualClock) {
+  Simulation s;
+  TimePoint observed = -1;
+  s.spawn([](Simulation& sim, TimePoint& out) -> Task<> {
+    co_await sim.delay(sim::millis(5));
+    out = sim.now();
+  }(s, observed));
+  s.run();
+  EXPECT_EQ(observed, sim::millis(5));
+}
+
+TEST(SimulationTest, NestedDelaysAccumulate) {
+  Simulation s;
+  TimePoint observed = -1;
+  s.spawn([](Simulation& sim, TimePoint& out) -> Task<> {
+    co_await sim.delay(sim::seconds(1));
+    co_await sim.delay(sim::millis(500));
+    co_await sim.delay(sim::micros(250));
+    out = sim.now();
+  }(s, observed));
+  s.run();
+  EXPECT_EQ(observed, sim::seconds(1) + sim::millis(500) + sim::micros(250));
+}
+
+TEST(SimulationTest, ZeroDelayYieldsThroughQueue) {
+  Simulation s;
+  std::vector<int> order;
+  s.spawn([](Simulation& sim, std::vector<int>& o) -> Task<> {
+    o.push_back(1);
+    co_await sim.delay(0);
+    o.push_back(3);
+  }(s, order));
+  s.spawn([](std::vector<int>& o) -> Task<> {
+    o.push_back(2);
+    co_return;
+  }(order));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, SameTimeEventsRunInScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(sim::millis(1), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsRunInTimeOrderRegardlessOfScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(sim::millis(30), [&] { order.push_back(3); });
+  s.schedule_at(sim::millis(10), [&] { order.push_back(1); });
+  s.schedule_at(sim::millis(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(sim::seconds(1), [&] { ++fired; });
+  s.schedule_at(sim::seconds(3), [&] { ++fired; });
+  const bool more = s.run_until(sim::seconds(2));
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), sim::seconds(2));
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SimulationTest, EventsExecutedCounts) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+// ------------------------------------------------------------ processes ----
+
+TEST(ProcessTest, SpawnRunsProcessToCompletion) {
+  Simulation s;
+  bool done = false;
+  auto h = s.spawn([](bool& d) -> Task<> {
+    d = true;
+    co_return;
+  }(done));
+  EXPECT_FALSE(done);  // lazy until run
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(s.live_processes(), 0);
+}
+
+TEST(ProcessTest, JoinWaitsForCompletion) {
+  Simulation s;
+  TimePoint joined_at = -1;
+  auto worker = s.spawn([](Simulation& sim) -> Task<> {
+    co_await sim.delay(sim::seconds(2));
+  }(s));
+  s.spawn([](Simulation& sim, sim::ProcessHandle w,
+             TimePoint& out) -> Task<> {
+    co_await w.join();
+    out = sim.now();
+  }(s, worker, joined_at));
+  s.run();
+  EXPECT_EQ(joined_at, sim::seconds(2));
+}
+
+TEST(ProcessTest, JoinAlreadyFinishedProcessResumesImmediately) {
+  Simulation s;
+  auto worker = s.spawn([]() -> Task<> { co_return; }());
+  bool joined = false;
+  s.spawn([](Simulation& sim, sim::ProcessHandle w, bool& j) -> Task<> {
+    co_await sim.delay(sim::seconds(5));
+    co_await w.join();
+    j = true;
+  }(s, worker, joined));
+  s.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(ProcessTest, AwaitedSubtaskReturnsValue) {
+  Simulation s;
+  int result = 0;
+  auto subtask = [](Simulation& sim) -> Task<int> {
+    co_await sim.delay(sim::millis(1));
+    co_return 42;
+  };
+  s.spawn([](Simulation& sim, auto sub, int& out) -> Task<> {
+    out = co_await sub(sim);
+  }(s, subtask, result));
+  s.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ProcessTest, ExceptionPropagatesThroughAwait) {
+  Simulation s;
+  std::string caught;
+  auto thrower = []() -> Task<int> {
+    throw std::runtime_error("boom");
+    co_return 0;
+  };
+  s.spawn([](auto t, std::string& out) -> Task<> {
+    try {
+      (void)co_await t();
+    } catch (const std::runtime_error& e) {
+      out = e.what();
+    }
+  }(thrower, caught));
+  s.run();
+  EXPECT_EQ(caught, "boom");
+}
+
+TEST(ProcessTest, UncaughtProcessExceptionSurfacesFromRun) {
+  Simulation s;
+  s.spawn([]() -> Task<> {
+    throw std::logic_error("fatal");
+    co_return;
+  }());
+  EXPECT_THROW(s.run(), std::logic_error);
+}
+
+TEST(ProcessTest, ManyProcessesInterleaveDeterministically) {
+  auto run_once = [] {
+    Simulation s;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      s.spawn([](Simulation& sim, std::vector<int>& o, int id) -> Task<> {
+        co_await sim.delay(sim::millis(id % 7));
+        o.push_back(id);
+      }(s, order, i));
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ------------------------------------------------------------- resource ----
+
+TEST(ResourceTest, CapacityLimitsConcurrency) {
+  Simulation s;
+  sim::Resource res(s, 2);
+  int concurrent = 0, peak = 0;
+  for (int i = 0; i < 8; ++i) {
+    s.spawn([](Simulation& sim, sim::Resource& r, int& c, int& p) -> Task<> {
+      auto lease = co_await r.acquire();
+      ++c;
+      p = std::max(p, c);
+      co_await sim.delay(sim::millis(10));
+      --c;
+    }(s, res, concurrent, peak));
+  }
+  s.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(res.high_watermark(), 2);
+  EXPECT_EQ(res.in_use(), 0);
+}
+
+TEST(ResourceTest, WaitersServedFifo) {
+  Simulation s;
+  sim::Resource res(s, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.spawn([](Simulation& sim, sim::Resource& r, std::vector<int>& o,
+               int id) -> Task<> {
+      co_await sim.delay(id);  // arrive in id order
+      auto lease = co_await r.acquire();
+      o.push_back(id);
+      co_await sim.delay(sim::millis(1));
+    }(s, res, order, i));
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, LateArrivalCannotJumpQueueDuringHandover) {
+  Simulation s;
+  sim::Resource res(s, 1);
+  std::vector<std::string> order;
+
+  // A holds the resource; B waits; C arrives exactly when A releases.
+  s.spawn([](Simulation& sim, sim::Resource& r,
+             std::vector<std::string>& o) -> Task<> {
+    auto lease = co_await r.acquire();
+    o.push_back("A");
+    co_await sim.delay(sim::millis(10));
+  }(s, res, order));
+  s.spawn([](Simulation& sim, sim::Resource& r,
+             std::vector<std::string>& o) -> Task<> {
+    co_await sim.delay(sim::millis(1));
+    auto lease = co_await r.acquire();
+    o.push_back("B");
+    co_await sim.delay(sim::millis(1));
+  }(s, res, order));
+  s.spawn([](Simulation& sim, sim::Resource& r,
+             std::vector<std::string>& o) -> Task<> {
+    co_await sim.delay(sim::millis(10));  // same instant as A's release
+    auto lease = co_await r.acquire();
+    o.push_back("C");
+  }(s, res, order));
+  s.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(ResourceTest, MovedLeaseReleasesOnce) {
+  Simulation s;
+  sim::Resource res(s, 1);
+  s.spawn([](Simulation& sim, sim::Resource& r) -> Task<> {
+    auto lease = co_await r.acquire();
+    sim::ResourceLease moved = std::move(lease);
+    EXPECT_FALSE(lease.held());
+    EXPECT_TRUE(moved.held());
+    moved.release();
+    EXPECT_EQ(r.in_use(), 0);
+    co_await sim.delay(0);
+  }(s, res));
+  s.run();
+  EXPECT_EQ(res.in_use(), 0);
+}
+
+// ----------------------------------------------------------------- sync ----
+
+TEST(GateTest, WaitersResumeOnSet) {
+  Simulation s;
+  sim::Gate gate(s);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    s.spawn([](sim::Gate& g, int& r) -> Task<> {
+      co_await g.wait();
+      ++r;
+    }(gate, released));
+  }
+  s.spawn([](Simulation& sim, sim::Gate& g) -> Task<> {
+    co_await sim.delay(sim::seconds(1));
+    g.set();
+  }(s, gate));
+  s.run();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(GateTest, WaitAfterSetIsImmediate) {
+  Simulation s;
+  sim::Gate gate(s);
+  gate.set();
+  TimePoint at = -1;
+  s.spawn([](Simulation& sim, sim::Gate& g, TimePoint& t) -> Task<> {
+    co_await g.wait();
+    t = sim.now();
+  }(s, gate, at));
+  s.run();
+  EXPECT_EQ(at, 0);
+}
+
+TEST(WaitGroupTest, WaitsForAllCompletions) {
+  Simulation s;
+  sim::WaitGroup wg(s);
+  TimePoint done_at = -1;
+  for (int i = 1; i <= 4; ++i) {
+    wg.add();
+    s.spawn([](Simulation& sim, sim::WaitGroup& w, int secs) -> Task<> {
+      co_await sim.delay(sim::seconds(secs));
+      w.done();
+    }(s, wg, i));
+  }
+  s.spawn([](Simulation& sim, sim::WaitGroup& w, TimePoint& t) -> Task<> {
+    co_await w.wait();
+    t = sim.now();
+  }(s, wg, done_at));
+  s.run();
+  EXPECT_EQ(done_at, sim::seconds(4));
+}
+
+TEST(WaitGroupTest, WaitWithZeroPendingReturnsImmediately) {
+  Simulation s;
+  sim::WaitGroup wg(s);
+  bool resumed = false;
+  s.spawn([](sim::WaitGroup& w, bool& r) -> Task<> {
+    co_await w.wait();
+    r = true;
+  }(wg, resumed));
+  s.run();
+  EXPECT_TRUE(resumed);
+}
+
+// --------------------------------------------------------- flow limiter ----
+
+TEST(FlowLimiterTest, SingleAcquireTakesServiceTime) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, /*rate=*/100.0);  // 100 units/s
+  TimePoint done = -1;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p, TimePoint& t) -> Task<> {
+    co_await p.acquire(50.0);  // 0.5 s
+    t = sim.now();
+  }(s, pipe, done));
+  s.run();
+  EXPECT_EQ(done, sim::millis(500));
+}
+
+TEST(FlowLimiterTest, ConcurrentAcquiresSerialize) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0);
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 3; ++i) {
+    s.spawn([](Simulation& sim, sim::FlowLimiter& p,
+               std::vector<TimePoint>& d) -> Task<> {
+      co_await p.acquire(100.0);  // 1 s each
+      d.push_back(sim.now());
+    }(s, pipe, done));
+  }
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], sim::seconds(1));
+  EXPECT_EQ(done[1], sim::seconds(2));
+  EXPECT_EQ(done[2], sim::seconds(3));
+}
+
+TEST(FlowLimiterTest, IdlePipeDoesNotAccumulateUnboundedCredit) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0, /*burst=*/0.0);
+  TimePoint done = -1;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p, TimePoint& t) -> Task<> {
+    co_await sim.delay(sim::seconds(100));  // long idle
+    co_await p.acquire(100.0);              // still takes 1 s
+    t = sim.now();
+  }(s, pipe, done));
+  s.run();
+  EXPECT_EQ(done, sim::seconds(101));
+}
+
+TEST(FlowLimiterTest, BurstCreditPassesShortBurstsImmediately) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0, /*burst=*/100.0);  // 1 s of credit
+  std::vector<TimePoint> done;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p,
+             std::vector<TimePoint>& d) -> Task<> {
+    co_await sim.delay(sim::seconds(10));  // accumulate full credit
+    co_await p.acquire(50.0);              // within credit: immediate
+    d.push_back(sim.now());
+    co_await p.acquire(50.0);  // exhausts credit: immediate
+    d.push_back(sim.now());
+    co_await p.acquire(50.0);  // now pays 0.5 s
+    d.push_back(sim.now());
+  }(s, pipe, done));
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], sim::seconds(10));
+  EXPECT_EQ(done[1], sim::seconds(10));
+  EXPECT_EQ(done[2], sim::seconds(10) + sim::millis(500));
+}
+
+TEST(FlowLimiterTest, AggregateThroughputMatchesRate) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 1000.0);  // 1000 units/s
+  // 10 workers each pushing 500 units => 5000 units => 5 s total.
+  sim::WaitGroup wg(s);
+  for (int i = 0; i < 10; ++i) {
+    wg.add();
+    s.spawn([](sim::FlowLimiter& p, sim::WaitGroup& w) -> Task<> {
+      for (int k = 0; k < 5; ++k) co_await p.acquire(100.0);
+      w.done();
+    }(pipe, wg));
+  }
+  TimePoint finished = -1;
+  s.spawn([](Simulation& sim, sim::WaitGroup& w, TimePoint& t) -> Task<> {
+    co_await w.wait();
+    t = sim.now();
+  }(s, wg, finished));
+  s.run();
+  EXPECT_EQ(finished, sim::seconds(5));
+}
+
+// -------------------------------------------------------- window counter ----
+
+TEST(WindowCounterTest, AdmitsUpToBudgetPerWindow) {
+  Simulation s;
+  sim::WindowCounter wc(s, 3);
+  EXPECT_TRUE(wc.try_consume());
+  EXPECT_TRUE(wc.try_consume());
+  EXPECT_TRUE(wc.try_consume());
+  EXPECT_FALSE(wc.try_consume());
+  EXPECT_EQ(wc.rejected(), 1);
+}
+
+TEST(WindowCounterTest, BudgetResetsNextWindow) {
+  Simulation s;
+  sim::WindowCounter wc(s, 2);
+  s.spawn([](Simulation& sim, sim::WindowCounter& w) -> Task<> {
+    EXPECT_TRUE(w.try_consume());
+    EXPECT_TRUE(w.try_consume());
+    EXPECT_FALSE(w.try_consume());
+    co_await sim.delay(sim::kSecond);
+    EXPECT_TRUE(w.try_consume());
+    co_return;
+  }(s, wc));
+  s.run();
+}
+
+TEST(WindowCounterTest, WindowBoundaryAlignment) {
+  Simulation s;
+  sim::WindowCounter wc(s, 1);
+  s.spawn([](Simulation& sim, sim::WindowCounter& w) -> Task<> {
+    co_await sim.delay(sim::millis(2500));  // inside 3rd window [2s,3s)
+    EXPECT_TRUE(w.try_consume());
+    EXPECT_FALSE(w.try_consume());
+    co_await sim.delay(sim::millis(499));  // still same window (2.999 s)
+    EXPECT_FALSE(w.try_consume());
+    co_await sim.delay(sim::millis(1));  // crosses into [3s,4s)
+    EXPECT_TRUE(w.try_consume());
+    co_return;
+  }(s, wc));
+  s.run();
+}
+
+// --------------------------------------------------------------- random ----
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  sim::Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  sim::Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  sim::Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  sim::Random r(7);
+  std::vector<int> hits(11, 0);
+  for (int i = 0; i < 11000; ++i) {
+    ++hits[static_cast<size_t>(r.uniform(0, 10))];
+  }
+  for (int h : hits) EXPECT_GT(h, 500);  // roughly uniform
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  sim::Random r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, ExponentialMeanApproximatelyCorrect) {
+  sim::Random r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  sim::Random a(42);
+  sim::Random b = a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(StatsTest, OnlineStatsBasics) {
+  sim::OnlineStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_NEAR(st.stddev(), 2.138089935, 1e-6);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(StatsTest, MergeMatchesCombinedStream) {
+  sim::OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, SamplesPercentiles) {
+  sim::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(StatsTest, EmptySamplesAreSafe) {
+  sim::Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+// ----------------------------------------------------------- formatting ----
+
+TEST(TimeFormatTest, RendersAllScales) {
+  EXPECT_EQ(sim::format_duration(500), "500ns");
+  EXPECT_EQ(sim::format_duration(sim::micros(2)), "2.000us");
+  EXPECT_EQ(sim::format_duration(sim::millis(3)), "3.000ms");
+  EXPECT_EQ(sim::format_duration(sim::seconds(1.5)), "1.500s");
+}
+
+}  // namespace

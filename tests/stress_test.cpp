@@ -1,0 +1,236 @@
+// Deterministic fuzz/stress tests: seeded random op sequences from many
+// concurrent clients, with invariants checked at every step and at the end.
+// Each seed is a separate parameterized test case, so failures name the
+// exact reproducible sequence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "azure_test_util.hpp"
+#include "azure/common/errors.hpp"
+#include "azure/common/limits.hpp"
+#include "simcore/random.hpp"
+#include "simcore/sync.hpp"
+
+namespace {
+
+using azb_test::TestWorld;
+using azure::Payload;
+using sim::Task;
+
+// ----------------------------------------------------------- queue fuzz ----
+
+/// Many producers/consumers hammer one queue with randomized op mixes.
+/// Invariants: every produced message is consumed at most once per
+/// visibility epoch; the final count equals puts - deletes; no crashes.
+class QueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct QueueFuzzState {
+  std::int64_t puts = 0;
+  std::int64_t deletes = 0;
+  std::multiset<std::string> outstanding;  // put but not yet deleted
+};
+
+sim::Task<void> queue_fuzz_worker(TestWorld& t, QueueFuzzState& state,
+                                  std::uint64_t seed, int id,
+                                  sim::WaitGroup& wg) {
+  sim::Random rng(seed * 101 + static_cast<std::uint64_t>(id));
+  auto q = t.account.create_cloud_queue_client().get_queue_reference("fuzz");
+  co_await q.create_if_not_exists();
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.uniform(0, 9);
+    bool backoff = false;
+    try {
+      if (dice < 4) {
+        const std::string body =
+            "w" + std::to_string(id) + "-" + std::to_string(step);
+        co_await q.add_message(Payload::bytes(body),
+                               sim::seconds(rng.uniform(60, 3600)));
+        ++state.puts;
+        state.outstanding.insert(body);
+      } else if (dice < 7) {
+        auto m = co_await q.get_message(sim::seconds(rng.uniform(1, 60)));
+        if (m && rng.uniform(0, 3) != 0) {  // sometimes "crash" undeleted
+          co_await q.delete_message(*m);
+          ++state.deletes;
+          auto it = state.outstanding.find(m->body.data());
+          CO_ASSERT_TRUE(it != state.outstanding.end());  // ghost message otherwise
+          state.outstanding.erase(it);
+        }
+      } else if (dice < 9) {
+        (void)co_await q.peek_message();
+      } else {
+        const auto count = co_await q.get_message_count();
+        EXPECT_GE(count, 0);
+      }
+    } catch (const azure::ServerBusyError&) {
+      backoff = true;
+    } catch (const azure::PreconditionFailedError&) {
+      // A reappeared message was re-gotten by someone else: legal race.
+    } catch (const azure::NotFoundError&) {
+      // Concurrent delete of a reappeared message: legal race.
+    }
+    if (backoff) co_await t.sim.delay(sim::kSecond);
+    co_await t.sim.delay(sim::millis(rng.uniform(1, 400)));
+  }
+  wg.done();
+}
+
+TEST_P(QueueFuzz, InvariantsHoldUnderRandomConcurrency) {
+  const std::uint64_t seed = GetParam();
+  TestWorld w;
+  QueueFuzzState state;
+  sim::WaitGroup wg(w.sim);
+  for (int i = 0; i < 12; ++i) {
+    wg.add();
+    w.sim.spawn(queue_fuzz_worker(w, state, seed, i, wg));
+  }
+  w.sim.run();
+  EXPECT_EQ(wg.pending(), 0);
+  // Conservation: what was put and never deleted is still in the queue
+  // (none of the fuzz TTLs can have expired within the run).
+  w.sim.spawn([](TestWorld& t, QueueFuzzState& st) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("fuzz");
+    const auto count = co_await q.get_message_count();
+    EXPECT_EQ(count, st.puts - st.deletes);
+    EXPECT_EQ(count, static_cast<std::int64_t>(st.outstanding.size()));
+  }(w, state));
+  w.sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+// ----------------------------------------------------------- table fuzz ----
+
+/// Random inserts/updates/deletes/queries mirrored against an in-memory
+/// model; the service must agree with the model at every query.
+class TableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableFuzz, ServiceMatchesReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  TestWorld w;
+  w.sim.spawn([](TestWorld& t, std::uint64_t sd) -> Task<> {
+    sim::Random rng(sd * 7 + 3);
+    auto tbl = t.account.create_cloud_table_client().get_table_reference("f");
+    co_await tbl.create();
+    std::map<std::string, std::int64_t> model;  // row_key -> payload size
+
+    for (int step = 0; step < 200; ++step) {
+      const std::string rk = "row-" + std::to_string(rng.uniform(0, 15));
+      const auto dice = rng.uniform(0, 9);
+      const std::int64_t size = rng.uniform(1, 8192);
+      azure::TableEntity e;
+      e.partition_key = "pk";
+      e.row_key = rk;
+      e.properties["data"] = Payload::synthetic(size);
+      bool backoff = false;
+      try {
+        if (dice < 3) {
+          co_await tbl.insert(e);
+          CO_ASSERT_EQ(model.count(rk), 0u);  // insert over existing row
+          model[rk] = size;
+        } else if (dice < 5) {
+          co_await tbl.update(e, "*");
+          CO_ASSERT_EQ(model.count(rk), 1u);  // update of missing row
+          model[rk] = size;
+        } else if (dice < 6) {
+          co_await tbl.insert_or_replace(e);
+          model[rk] = size;
+        } else if (dice < 8) {
+          const auto row = co_await tbl.query("pk", rk);
+          CO_ASSERT_EQ(model.count(rk), 1u);  // query hit for missing row
+          EXPECT_EQ(std::get<Payload>(row.properties.at("data")).size(),
+                    model[rk]);
+        } else {
+          co_await tbl.erase("pk", rk);
+          CO_ASSERT_EQ(model.count(rk), 1u);  // delete of missing row
+          model.erase(rk);
+        }
+      } catch (const azure::ConflictError&) {
+        EXPECT_EQ(model.count(rk), 1u);
+      } catch (const azure::NotFoundError&) {
+        EXPECT_EQ(model.count(rk), 0u);
+      } catch (const azure::ServerBusyError&) {
+        backoff = true;
+      }
+      if (backoff) co_await t.sim.delay(sim::kSecond);
+      co_await t.sim.delay(sim::millis(5));
+    }
+    // Final sweep: the partition scan matches the model exactly.
+    const auto rows = co_await tbl.query_partition("pk");
+    EXPECT_EQ(rows.size(), model.size());
+    for (const auto& row : rows) {
+      auto it = model.find(row.row_key);
+      CO_ASSERT_TRUE(it != model.end());
+      EXPECT_EQ(std::get<Payload>(row.properties.at("data")).size(),
+                it->second);
+    }
+  }(w, seed));
+  w.sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableFuzz,
+                         ::testing::Values(7u, 99u, 555u, 2026u));
+
+// ------------------------------------------------------------ blob fuzz ----
+
+/// Random page writes mirrored against a byte-array model; the assembled
+/// reads must match exactly (overlap splitting is the tricky part).
+class PageBlobFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageBlobFuzz, OverlapResolutionMatchesByteModel) {
+  const std::uint64_t seed = GetParam();
+  TestWorld w;
+  w.sim.spawn([](TestWorld& t, std::uint64_t sd) -> Task<> {
+    sim::Random rng(sd * 31 + 17);
+    constexpr std::int64_t kBlobSize = 64 * 512;
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_page_blob_reference("fuzz");
+    co_await blob.create(kBlobSize);
+    std::string model(kBlobSize, '\0');
+
+    for (int step = 0; step < 120; ++step) {
+      const std::int64_t offset = rng.uniform(0, 63) * 512;
+      const std::int64_t pages = rng.uniform(1, 8);
+      const std::int64_t len = std::min(pages * 512, kBlobSize - offset);
+      const char fill = static_cast<char>('a' + (step % 26));
+      co_await blob.put_page(offset,
+                             Payload::bytes(std::string(
+                                 static_cast<std::size_t>(len), fill)));
+      model.replace(static_cast<std::size_t>(offset),
+                    static_cast<std::size_t>(len),
+                    static_cast<std::size_t>(len), fill);
+
+      // Random read-back check.
+      const std::int64_t roff = rng.uniform(0, 63) * 512;
+      const std::int64_t rlen = std::min<std::int64_t>(
+          rng.uniform(1, 8) * 512, kBlobSize - roff);
+      const auto got = co_await blob.get_page(roff, rlen);
+      const std::string expect = model.substr(static_cast<std::size_t>(roff),
+                                              static_cast<std::size_t>(rlen));
+      if (got.is_synthetic()) {
+        // Fully-unwritten ranges come back as size-only zero payloads.
+        EXPECT_EQ(got.size(), rlen);
+        EXPECT_EQ(expect, std::string(static_cast<std::size_t>(rlen), '\0'))
+            << "step " << step;
+      } else {
+        EXPECT_EQ(got.data(), expect) << "step " << step;
+      }
+    }
+    const auto all = co_await blob.open_read();
+    CO_ASSERT_TRUE(!all.is_synthetic());  // real bytes were written
+    EXPECT_EQ(all.data(), model.substr(0, all.data().size()));
+  }(w, seed));
+  w.sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageBlobFuzz,
+                         ::testing::Values(11u, 83u, 407u, 9001u));
+
+}  // namespace
