@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_services.dir/bench_ext_services.cpp.o"
+  "CMakeFiles/bench_ext_services.dir/bench_ext_services.cpp.o.d"
+  "bench_ext_services"
+  "bench_ext_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sql.dir/bench_ext_sql.cpp.o"
+  "CMakeFiles/bench_ext_sql.dir/bench_ext_sql.cpp.o.d"
+  "bench_ext_sql"
+  "bench_ext_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_blob.dir/bench_fig4_blob.cpp.o"
+  "CMakeFiles/bench_fig4_blob.dir/bench_fig4_blob.cpp.o.d"
+  "bench_fig4_blob"
+  "bench_fig4_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

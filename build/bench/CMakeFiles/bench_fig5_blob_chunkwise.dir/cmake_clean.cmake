@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_blob_chunkwise.dir/bench_fig5_blob_chunkwise.cpp.o"
+  "CMakeFiles/bench_fig5_blob_chunkwise.dir/bench_fig5_blob_chunkwise.cpp.o.d"
+  "bench_fig5_blob_chunkwise"
+  "bench_fig5_blob_chunkwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_blob_chunkwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

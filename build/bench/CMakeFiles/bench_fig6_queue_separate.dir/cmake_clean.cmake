@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_queue_separate.dir/bench_fig6_queue_separate.cpp.o"
+  "CMakeFiles/bench_fig6_queue_separate.dir/bench_fig6_queue_separate.cpp.o.d"
+  "bench_fig6_queue_separate"
+  "bench_fig6_queue_separate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_queue_separate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

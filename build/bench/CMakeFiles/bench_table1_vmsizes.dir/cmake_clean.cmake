@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vmsizes.dir/bench_table1_vmsizes.cpp.o"
+  "CMakeFiles/bench_table1_vmsizes.dir/bench_table1_vmsizes.cpp.o.d"
+  "bench_table1_vmsizes"
+  "bench_table1_vmsizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vmsizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_mapreduce.dir/iterative_mapreduce.cpp.o"
+  "CMakeFiles/iterative_mapreduce.dir/iterative_mapreduce.cpp.o.d"
+  "iterative_mapreduce"
+  "iterative_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bag_of_tasks "/root/repo/build/examples/bag_of_tasks")
+set_tests_properties(example_bag_of_tasks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gis_overlay "/root/repo/build/examples/gis_overlay")
+set_tests_properties(example_gis_overlay PROPERTIES  PASS_REGULAR_EXPRESSION "PASS|converged" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iterative_mapreduce "/root/repo/build/examples/iterative_mapreduce")
+set_tests_properties(example_iterative_mapreduce PROPERTIES  PASS_REGULAR_EXPRESSION "PASS|converged" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

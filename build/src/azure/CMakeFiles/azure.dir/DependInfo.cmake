@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/azure/blob/blob_service.cpp" "src/azure/CMakeFiles/azure.dir/blob/blob_service.cpp.o" "gcc" "src/azure/CMakeFiles/azure.dir/blob/blob_service.cpp.o.d"
+  "/root/repo/src/azure/cache/cache_service.cpp" "src/azure/CMakeFiles/azure.dir/cache/cache_service.cpp.o" "gcc" "src/azure/CMakeFiles/azure.dir/cache/cache_service.cpp.o.d"
+  "/root/repo/src/azure/queue/queue_service.cpp" "src/azure/CMakeFiles/azure.dir/queue/queue_service.cpp.o" "gcc" "src/azure/CMakeFiles/azure.dir/queue/queue_service.cpp.o.d"
+  "/root/repo/src/azure/sql/sql_service.cpp" "src/azure/CMakeFiles/azure.dir/sql/sql_service.cpp.o" "gcc" "src/azure/CMakeFiles/azure.dir/sql/sql_service.cpp.o.d"
+  "/root/repo/src/azure/table/table_service.cpp" "src/azure/CMakeFiles/azure.dir/table/table_service.cpp.o" "gcc" "src/azure/CMakeFiles/azure.dir/table/table_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

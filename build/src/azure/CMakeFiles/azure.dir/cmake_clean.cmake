@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure.dir/blob/blob_service.cpp.o"
+  "CMakeFiles/azure.dir/blob/blob_service.cpp.o.d"
+  "CMakeFiles/azure.dir/cache/cache_service.cpp.o"
+  "CMakeFiles/azure.dir/cache/cache_service.cpp.o.d"
+  "CMakeFiles/azure.dir/queue/queue_service.cpp.o"
+  "CMakeFiles/azure.dir/queue/queue_service.cpp.o.d"
+  "CMakeFiles/azure.dir/sql/sql_service.cpp.o"
+  "CMakeFiles/azure.dir/sql/sql_service.cpp.o.d"
+  "CMakeFiles/azure.dir/table/table_service.cpp.o"
+  "CMakeFiles/azure.dir/table/table_service.cpp.o.d"
+  "libazure.a"
+  "libazure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

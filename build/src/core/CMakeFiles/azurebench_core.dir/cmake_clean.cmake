@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azurebench_core.dir/blob_benchmark.cpp.o"
+  "CMakeFiles/azurebench_core.dir/blob_benchmark.cpp.o.d"
+  "CMakeFiles/azurebench_core.dir/queue_benchmark.cpp.o"
+  "CMakeFiles/azurebench_core.dir/queue_benchmark.cpp.o.d"
+  "CMakeFiles/azurebench_core.dir/table_benchmark.cpp.o"
+  "CMakeFiles/azurebench_core.dir/table_benchmark.cpp.o.d"
+  "libazurebench_core.a"
+  "libazurebench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azurebench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

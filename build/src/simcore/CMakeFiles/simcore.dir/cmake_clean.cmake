@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore.dir/simulation.cpp.o"
+  "CMakeFiles/simcore.dir/simulation.cpp.o.d"
+  "CMakeFiles/simcore.dir/time.cpp.o"
+  "CMakeFiles/simcore.dir/time.cpp.o.d"
+  "libsimcore.a"
+  "libsimcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
