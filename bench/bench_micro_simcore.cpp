@@ -3,6 +3,10 @@
 // These bound how fast the figure benches can simulate the cloud.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <random>
+#include <vector>
+
 #include "simcore/rate_limiter.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/simulation.hpp"
@@ -24,6 +28,41 @@ void BM_EventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EventDispatch)->Arg(1'000)->Arg(100'000);
+
+// Raw coroutine-resume path: schedule_resume stores the handle directly in
+// the heap node, so this measures pure push/pop/resume with no callable
+// wrapper and no slab traffic.
+void BM_ScheduleResume(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.reserve(static_cast<std::size_t>(events));
+    const auto h = std::noop_coroutine();
+    for (int i = 0; i < events; ++i) s.schedule_resume(i, h);
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_ScheduleResume)->Arg(1'000)->Arg(100'000);
+
+// Heap stress: a large pending set with random timestamps keeps the 4-ary
+// heap at full depth, so sift costs (not dispatch) dominate.
+void BM_HeapStress(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  std::vector<sim::TimePoint> stamps(static_cast<std::size_t>(events));
+  std::mt19937_64 rng(0xA2B3C4D5u);  // fixed seed: identical heap shapes
+  for (auto& t : stamps) t = static_cast<sim::TimePoint>(rng() >> 24);
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.reserve(stamps.size());
+    for (const auto t : stamps) s.schedule_at(t, [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_HeapStress)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
 
 sim::Task<void> delay_loop(sim::Simulation& s, int n) {
   for (int i = 0; i < n; ++i) co_await s.delay(sim::millis(1));

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: builds the Release and ASan+UBSan configurations and runs
+# the full test suite under both. Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== test ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_config build-ci-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAZUREBENCH_SANITIZE=ON
+
+echo "=== all configurations green ==="

@@ -1,14 +1,24 @@
 #include "simcore/simulation.hpp"
 
 #include <cassert>
-#include <cstdio>
 #include <stdexcept>
 
 namespace sim {
 
-void Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+std::shared_ptr<detail::ProcessState> Simulation::acquire_state(
+    std::string name) {
+  if (!state_pool_.empty()) {
+    auto st = std::move(state_pool_.back());
+    state_pool_.pop_back();
+    st->done = false;
+    st->error = nullptr;
+    st->name = std::move(name);
+    assert(st->joiners.empty());
+    return st;
+  }
+  auto st = std::make_shared<detail::ProcessState>();
+  st->name = std::move(name);
+  return st;
 }
 
 detail::Detached Simulation::run_process(
@@ -23,26 +33,27 @@ detail::Detached Simulation::run_process(
   --live_processes_;
   for (auto j : st->joiners) schedule_resume(now_, j);
   st->joiners.clear();
+  // A use count of 1 means no ProcessHandle (or join awaiter) references
+  // this state and none can appear later, so the block is recyclable.
+  if (st.use_count() == 1) state_pool_.push_back(std::move(st));
 }
 
 ProcessHandle Simulation::spawn(Task<void> task, std::string name) {
-  auto st = std::make_shared<detail::ProcessState>();
-  st->name = std::move(name);
+  auto st = acquire_state(std::move(name));
   ++live_processes_;
   auto d = run_process(std::move(task), st);
-  schedule_at(now_, [h = d.handle] { h.resume(); });
+  schedule_resume(now_, d.handle);
   return ProcessHandle{std::move(st)};
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast of the handle is
-  // UB-adjacent, so copy the small struct members we need instead.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+  // Pop-then-run: the node is fully removed from the heap before the payload
+  // executes, so the payload may freely schedule new events.
+  const auto popped = queue_.pop();
+  now_ = popped.at;
   ++events_executed_;
-  ev.fn();
+  queue_.run(popped);
   return true;
 }
 
@@ -57,7 +68,7 @@ void Simulation::run() {
 }
 
 bool Simulation::run_until(TimePoint t) {
-  while (!first_error_ && !queue_.empty() && queue_.top().at <= t) {
+  while (!first_error_ && !queue_.empty() && queue_.min_time() <= t) {
     step();
   }
   if (first_error_) {

@@ -4,17 +4,25 @@
 // Processes are `sim::Task<void>` coroutines registered with `spawn()`.
 // Same-timestamp events run in scheduling order (a monotonically increasing
 // sequence number breaks ties), which makes every run deterministic.
+//
+// The event core is allocation-free in steady state: coroutine resumptions
+// (delay(), Gate/Resource/FlowLimiter wakeups) are stored as bare handles,
+// callbacks live in the event slab's inline storage (see event.hpp), process
+// bookkeeping blocks are pooled across spawns, and coroutine frames come from
+// a size-bucketed free list (frame_pool.hpp).
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "simcore/event.hpp"
+#include "simcore/frame_pool.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
 
@@ -25,6 +33,8 @@ class Simulation;
 namespace detail {
 
 /// State shared between a running root process and its ProcessHandle(s).
+/// Recycled through Simulation's state pool when no handles are left, so the
+/// joiners vector keeps its capacity across spawns.
 struct ProcessState {
   bool done = false;
   std::exception_ptr error{};
@@ -36,6 +46,11 @@ struct ProcessState {
 /// destroys itself at final_suspend.
 struct Detached {
   struct promise_type {
+    void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    void operator delete(void* p, std::size_t n) noexcept {
+      FramePool::deallocate(p, n);
+    }
+
     Detached get_return_object() {
       return Detached{
           std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -91,17 +106,30 @@ class Simulation {
   /// Current virtual time.
   TimePoint now() const noexcept { return now_; }
 
-  /// Schedules an arbitrary callback at `at` (must be >= now()).
-  void schedule_at(TimePoint at, std::function<void()> fn);
+  /// Pre-sizes the event heap and payload slab for `n` simultaneously
+  /// pending events (optional; the queue grows on demand either way).
+  void reserve(std::size_t n) { queue_.reserve(n); }
 
-  /// Schedules a callback `delay` from now.
-  void schedule_in(Duration delay, std::function<void()> fn) {
-    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  /// Schedules an arbitrary callback at `at` (must be >= now()). Callables
+  /// up to detail::Event::kInlineCapacity bytes are stored inline.
+  template <class F>
+  void schedule_at(TimePoint at, F&& fn) {
+    assert(at >= now_ && "cannot schedule into the past");
+    queue_.push_callable(at, next_seq_++, std::forward<F>(fn));
   }
 
-  /// Schedules resumption of a suspended coroutine.
+  /// Schedules a callback `delay` from now.
+  template <class F>
+  void schedule_in(Duration delay, F&& fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
+  }
+
+  /// Schedules resumption of a suspended coroutine. This is the kernel's
+  /// hot path: the handle is stored directly in the event node, no callable
+  /// wrapper is materialized.
   void schedule_resume(TimePoint at, std::coroutine_handle<> h) {
-    schedule_at(at, [h] { h.resume(); });
+    assert(at >= now_ && "cannot schedule into the past");
+    queue_.push_resume(at, next_seq_++, h);
   }
 
   /// Awaitable that suspends the caller for `d` of virtual time.
@@ -146,26 +174,17 @@ class Simulation {
   int live_processes() const noexcept { return live_processes_; }
 
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
-    }
-  };
-
   detail::Detached run_process(Task<void> task,
                                std::shared_ptr<detail::ProcessState> st);
+  std::shared_ptr<detail::ProcessState> acquire_state(std::string name);
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   int live_processes_ = 0;
   std::exception_ptr first_error_{};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  detail::EventQueue queue_;
+  std::vector<std::shared_ptr<detail::ProcessState>> state_pool_;
 };
 
 }  // namespace sim

@@ -7,10 +7,13 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <type_traits>
 #include <utility>
+
+#include "simcore/frame_pool.hpp"
 
 namespace sim {
 
@@ -20,6 +23,14 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  // Frames are pooled: sub-task-heavy workloads allocate/free coroutine
+  // frames on every simulated op, and the size-bucketed free list makes
+  // that a pointer pop in steady state.
+  void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
+
   std::coroutine_handle<> continuation{};
   std::exception_ptr error{};
 

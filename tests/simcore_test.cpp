@@ -1,8 +1,10 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcore/random.hpp"
@@ -119,6 +121,122 @@ TEST(SimulationTest, EventsExecutedCounts) {
   for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
   s.run();
   EXPECT_EQ(s.events_executed(), 5u);
+}
+
+// -------------------------------------------------------- event payloads ----
+
+struct ProbeCounters {
+  int ctor = 0;
+  int dtor = 0;
+  int calls = 0;
+};
+
+/// Counts constructions, destructions, and invocations of a scheduled
+/// callable so tests can assert the kernel destroys each payload exactly once.
+struct Probe {
+  ProbeCounters* c;
+  explicit Probe(ProbeCounters* counters) : c(counters) { ++c->ctor; }
+  Probe(const Probe& o) : c(o.c) { ++c->ctor; }
+  Probe(Probe&& o) noexcept : c(o.c) { ++c->ctor; }
+  ~Probe() { ++c->dtor; }
+  void operator()() const { ++c->calls; }
+};
+
+/// Oversized variant that cannot fit the event's inline buffer, exercising
+/// the heap-fallback storage path.
+struct BigProbe : Probe {
+  char pad[128] = {};
+  using Probe::Probe;
+};
+
+TEST(EventPayloadTest, InlinePayloadDestroyedExactlyOncePerEvent) {
+  ProbeCounters pc;
+  {
+    Simulation s;
+    for (int i = 0; i < 100; ++i) s.schedule_at(i, Probe(&pc));
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(s.step());
+    EXPECT_EQ(pc.calls, 50);
+    // 50 events still pending when the simulation is torn down.
+  }
+  EXPECT_EQ(pc.ctor, pc.dtor);
+  EXPECT_EQ(pc.calls, 50);
+}
+
+TEST(EventPayloadTest, HeapFallbackPayloadDestroyedExactlyOnce) {
+  static_assert(sizeof(BigProbe) > 48, "must exceed the inline buffer");
+  ProbeCounters pc;
+  {
+    Simulation s;
+    for (int i = 0; i < 20; ++i) s.schedule_at(i, BigProbe(&pc));
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.step());
+    EXPECT_EQ(pc.calls, 10);
+  }
+  EXPECT_EQ(pc.ctor, pc.dtor);
+  EXPECT_EQ(pc.calls, 10);
+}
+
+TEST(EventPayloadTest, ThrowingCallableIsStillDestroyedExactlyOnce) {
+  ProbeCounters pc;
+  {
+    Simulation s;
+    s.schedule_at(0, [p = Probe(&pc)] { throw std::runtime_error("cb"); });
+    EXPECT_THROW(s.run(), std::runtime_error);
+    EXPECT_EQ(s.events_executed(), 1u);
+  }
+  EXPECT_EQ(pc.ctor, pc.dtor);
+  EXPECT_EQ(pc.calls, 0);
+}
+
+TEST(EventPayloadTest, SlotRecyclingKeepsPayloadsIndependent) {
+  // Interleave scheduling and execution so slab slots are recycled, and
+  // verify every payload still runs exactly once with its own state.
+  Simulation s;
+  std::vector<int> seen;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const int id = round * 100 + i;
+      s.schedule_at(s.now() + 1, [&seen, id] { seen.push_back(id); });
+    }
+    s.run();
+  }
+  ASSERT_EQ(seen.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+// ------------------------------------------------------- scheduler heap ----
+
+TEST(SchedulerHeapTest, RandomTimestampsExecuteInNondecreasingOrder) {
+  Simulation s;
+  sim::Random rng(123);
+  constexpr int kEvents = 5000;
+  s.reserve(kEvents);
+  std::vector<std::pair<TimePoint, int>> seen;
+  seen.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // A small timestamp range forces heavy same-time ties.
+    const auto at = static_cast<TimePoint>(rng.uniform(0, 200));
+    s.schedule_at(at, [&seen, &s, i] { seen.emplace_back(s.now(), i); });
+  }
+  s.run();
+  ASSERT_EQ(seen.size(), kEvents);
+  EXPECT_EQ(s.events_executed(), kEvents);
+  for (int i = 1; i < kEvents; ++i) {
+    const auto& [t_prev, id_prev] = seen[static_cast<size_t>(i - 1)];
+    const auto& [t_cur, id_cur] = seen[static_cast<size_t>(i)];
+    EXPECT_LE(t_prev, t_cur);
+    // Same-timestamp events must pop in scheduling (FIFO) order.
+    if (t_prev == t_cur) EXPECT_LT(id_prev, id_cur);
+  }
+}
+
+TEST(SchedulerHeapTest, ReserveDoesNotDisturbExecution) {
+  Simulation s;
+  s.reserve(4096);
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) s.schedule_at(i % 17, [&fired] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2000);
+  EXPECT_EQ(s.events_executed(), 2000u);
 }
 
 // ------------------------------------------------------------ processes ----
@@ -338,6 +456,72 @@ TEST(GateTest, WaitAfterSetIsImmediate) {
   EXPECT_EQ(at, 0);
 }
 
+TEST(GateTest, ResetAfterSetReArmsForANewRound) {
+  Simulation s;
+  sim::Gate g(s);
+  std::vector<TimePoint> released;
+  auto waiter = [](Simulation& sim, sim::Gate& gate,
+                   std::vector<TimePoint>& out) -> Task<> {
+    co_await gate.wait();
+    out.push_back(sim.now());
+  };
+  s.spawn(waiter(s, g, released));
+  s.spawn([](Simulation& sim, sim::Gate& gate, std::vector<TimePoint>& out,
+             decltype(waiter) make_waiter) -> Task<> {
+    co_await sim.delay(sim::seconds(1));
+    gate.set();  // releases the first waiter at t=1s
+    co_await sim.delay(sim::seconds(1));
+    EXPECT_TRUE(gate.is_set());
+    gate.reset();  // re-arm while no one waits
+    EXPECT_FALSE(gate.is_set());
+    sim.spawn(make_waiter(sim, gate, out));  // must block on the re-armed gate
+    co_await sim.delay(sim::seconds(1));
+    gate.set();  // releases the second waiter at t=3s
+  }(s, g, released, waiter));
+  s.run();
+  EXPECT_EQ(released, (std::vector<TimePoint>{sim::seconds(1),
+                                              sim::seconds(3)}));
+}
+
+TEST(GateTest, WaitImmediatelyAfterResetBlocksUntilNextSet) {
+  Simulation s;
+  sim::Gate g(s);
+  g.set();
+  g.reset();
+  bool resumed = false;
+  s.spawn([](sim::Gate& gate, bool& r) -> Task<> {
+    co_await gate.wait();
+    r = true;
+  }(g, resumed));
+  s.schedule_at(sim::millis(5), [&g] { g.set(); });
+  s.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(WaitGroupTest, ReusableAcrossRounds) {
+  Simulation s;
+  sim::WaitGroup wg(s);
+  std::vector<TimePoint> round_done;
+  s.spawn([](Simulation& sim, sim::WaitGroup& w,
+             std::vector<TimePoint>& out) -> Task<> {
+    for (int round = 1; round <= 3; ++round) {
+      w.add(2);
+      for (int k = 0; k < 2; ++k) {
+        sim.spawn([](Simulation& sm, sim::WaitGroup& wg2) -> Task<> {
+          co_await sm.delay(sim::seconds(1));
+          wg2.done();
+        }(sim, w));
+      }
+      co_await w.wait();
+      out.push_back(sim.now());
+    }
+  }(s, wg, round_done));
+  s.run();
+  EXPECT_EQ(round_done,
+            (std::vector<TimePoint>{sim::seconds(1), sim::seconds(2),
+                                    sim::seconds(3)}));
+}
+
 TEST(WaitGroupTest, WaitsForAllCompletions) {
   Simulation s;
   sim::WaitGroup wg(s);
@@ -433,6 +617,75 @@ TEST(FlowLimiterTest, BurstCreditPassesShortBurstsImmediately) {
   EXPECT_EQ(done[0], sim::seconds(10));
   EXPECT_EQ(done[1], sim::seconds(10));
   EXPECT_EQ(done[2], sim::seconds(10) + sim::millis(500));
+}
+
+TEST(FlowLimiterTest, PartialIdleAccumulatesPartialCredit) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0, /*burst=*/100.0);  // 1 s of burst window
+  std::vector<TimePoint> done;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p,
+             std::vector<TimePoint>& d) -> Task<> {
+    co_await sim.delay(sim::millis(500));  // half the burst window idle
+    co_await p.acquire(50.0);              // covered by accumulated credit
+    d.push_back(sim.now());
+    co_await p.acquire(50.0);  // credit exhausted: pays full 0.5 s
+    d.push_back(sim.now());
+  }(s, pipe, done));
+  s.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], sim::millis(500));
+  EXPECT_EQ(done[1], sim::seconds(1));
+}
+
+TEST(FlowLimiterTest, CreditIsCappedAtTheBurstWindow) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0, /*burst=*/100.0);
+  TimePoint done = -1;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p, TimePoint& t) -> Task<> {
+    co_await sim.delay(sim::seconds(10));  // idle far beyond the window
+    co_await p.acquire(200.0);  // 2 s of service, at most 1 s of credit
+    t = sim.now();
+  }(s, pipe, done));
+  s.run();
+  EXPECT_EQ(done, sim::seconds(11));
+}
+
+TEST(FlowLimiterTest, BurstThenQueueingStaysFifo) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0, /*burst=*/50.0);  // 0.5 s of burst window
+  std::vector<std::pair<int, TimePoint>> done;
+  for (int i = 0; i < 3; ++i) {
+    s.spawn([](Simulation& sim, sim::FlowLimiter& p,
+               std::vector<std::pair<int, TimePoint>>& d, int id) -> Task<> {
+      co_await sim.delay(sim::seconds(5));  // all arrive at the same instant
+      co_await p.acquire(50.0);
+      d.emplace_back(id, sim.now());
+    }(s, pipe, done, i));
+  }
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  // First rides the burst credit; the rest queue behind it in FIFO order.
+  EXPECT_EQ(done[0], (std::pair<int, TimePoint>{0, sim::seconds(5)}));
+  EXPECT_EQ(done[1],
+            (std::pair<int, TimePoint>{1, sim::seconds(5) + sim::millis(500)}));
+  EXPECT_EQ(done[2], (std::pair<int, TimePoint>{2, sim::seconds(6)}));
+}
+
+TEST(FlowLimiterTest, ZeroAmountAcquireIsImmediateAndConsumesNothing) {
+  Simulation s;
+  sim::FlowLimiter pipe(s, 100.0);
+  std::vector<TimePoint> done;
+  s.spawn([](Simulation& sim, sim::FlowLimiter& p,
+             std::vector<TimePoint>& d) -> Task<> {
+    co_await p.acquire(0.0);
+    d.push_back(sim.now());
+    co_await p.acquire(100.0);
+    d.push_back(sim.now());
+  }(s, pipe, done));
+  s.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 0);
+  EXPECT_EQ(done[1], sim::seconds(1));
 }
 
 TEST(FlowLimiterTest, AggregateThroughputMatchesRate) {
