@@ -15,6 +15,11 @@ run_config() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== test ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  # The chaos suite (fault injection over the paper workloads) runs again
+  # explicitly by label so a regression in it is loud and attributable.
+  # Every chaos test carries a 60 s wall-clock budget (TIMEOUT property).
+  echo "=== chaos ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L chaos
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release

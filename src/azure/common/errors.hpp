@@ -12,6 +12,12 @@ namespace azure {
 using cluster::ServerBusyError;
 using cluster::StorageError;
 
+// Injected infrastructure faults (see faults/errors.hpp): transient from the
+// client's point of view, retryable per RetryPolicy's error classes.
+using cluster::ConnectionResetError;
+using cluster::FaultError;
+using cluster::TimeoutError;
+
 /// Requested container/blob/queue/table/entity does not exist (HTTP 404).
 class NotFoundError : public StorageError {
  public:

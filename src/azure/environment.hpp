@@ -10,6 +10,7 @@
 #include "azure/table/table_service.hpp"
 #include "cluster/config.hpp"
 #include "cluster/storage_cluster.hpp"
+#include "faults/fault_plan.hpp"
 #include "simcore/simulation.hpp"
 
 namespace azure {
@@ -21,24 +22,31 @@ struct CloudConfig {
   TableServiceConfig table;
   CacheServiceConfig cache;
   sql::SqlServiceConfig sql;
+  /// Deterministic fault injection. The default config is disabled: no RNG
+  /// draw, no extra event — byte-identical to a fault-free deployment.
+  faults::FaultConfig faults;
 };
 
 class CloudEnvironment {
  public:
   explicit CloudEnvironment(sim::Simulation& sim, const CloudConfig& cfg = {})
       : sim_(sim),
+        fault_plan_(sim, cfg.faults),
         cluster_(sim, cfg.cluster),
         blob_(cluster_, cfg.blob),
         queue_(cluster_, cfg.queue),
         table_(cluster_, cfg.table),
         cache_(sim, cluster_.network(), cfg.cache),
-        sql_(sim, cluster_.network(), cfg.sql) {}
+        sql_(sim, cluster_.network(), cfg.sql) {
+    if (fault_plan_.enabled()) cluster_.enable_faults(fault_plan_);
+  }
 
   CloudEnvironment(const CloudEnvironment&) = delete;
   CloudEnvironment& operator=(const CloudEnvironment&) = delete;
 
   sim::Simulation& simulation() noexcept { return sim_; }
   cluster::StorageCluster& storage_cluster() noexcept { return cluster_; }
+  faults::FaultPlan& fault_plan() noexcept { return fault_plan_; }
   BlobService& blob_service() noexcept { return blob_; }
   QueueService& queue_service() noexcept { return queue_; }
   TableService& table_service() noexcept { return table_; }
@@ -47,6 +55,7 @@ class CloudEnvironment {
 
  private:
   sim::Simulation& sim_;
+  faults::FaultPlan fault_plan_;
   cluster::StorageCluster cluster_;
   BlobService blob_;
   QueueService queue_;

@@ -195,6 +195,7 @@ sim::Task<std::optional<QueueMessage>> QueueService::get_message(
                                 : cfg_.default_visibility_timeout;
   m.visible_from = now + vis;
   ++m.dequeue_count;
+  if (m.dequeue_count > 1) ++redeliveries_;
   m.receipt_serial = next_receipt_++;
 
   QueueMessage out;

@@ -134,6 +134,12 @@ class QueueService {
   sim::Task<std::int64_t> get_message_count(netsim::Nic& client,
                                             std::string name);
 
+  /// Number of re-deliveries across all queues: GetMessage returning a
+  /// message whose visibility timeout expired un-deleted (dequeue_count of
+  /// the delivery > 1). Under fault injection this is the observable count
+  /// of consumer crashes the visibility-timeout mechanism absorbed.
+  std::int64_t redeliveries() const noexcept { return redeliveries_; }
+
  private:
   struct StoredMessage {
     std::uint64_t id;
@@ -173,6 +179,7 @@ class QueueService {
   std::map<std::string, std::unique_ptr<QueueData>> queues_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_receipt_ = 1;
+  std::int64_t redeliveries_ = 0;
 };
 
 }  // namespace azure

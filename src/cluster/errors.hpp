@@ -4,7 +4,16 @@
 #include <stdexcept>
 #include <string>
 
+#include "faults/errors.hpp"
+
 namespace cluster {
+
+// Injected infrastructure faults (lost messages, crashed servers) surface
+// through the same surface as backend errors; see faults/errors.hpp for why
+// they form a separate hierarchy from StorageError.
+using faults::ConnectionResetError;
+using faults::FaultError;
+using faults::TimeoutError;
 
 /// Base class for all simulated storage-backend failures.
 class StorageError : public std::runtime_error {

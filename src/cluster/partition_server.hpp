@@ -32,6 +32,19 @@ class PartitionServer {
   sim::Resource& executors() noexcept { return executors_; }
   const sim::Resource& executors() const noexcept { return executors_; }
 
+  /// Whether the server is serving requests. The fault layer's crash driver
+  /// flips this; routing (failover, replica skip) is the cluster's job.
+  /// In-flight work on a crashing server is not unwound — the cluster
+  /// observes the crash when the request completes and resets the client
+  /// (the executor's output is lost with the process).
+  bool up() const noexcept { return up_; }
+  void crash() noexcept {
+    up_ = false;
+    ++crashes_;
+  }
+  void restart() noexcept { up_ = true; }
+  std::int64_t crashes() const noexcept { return crashes_; }
+
   /// Occupies one executor, then pays fixed processing plus extra CPU time
   /// plus disk occupancy for `disk_bytes`.
   sim::Task<void> process(sim::Duration cpu, std::int64_t disk_bytes) {
@@ -66,6 +79,8 @@ class PartitionServer {
   sim::Resource executors_;
   sim::FlowLimiter disk_;
   netsim::Nic nic_;
+  bool up_ = true;
+  std::int64_t crashes_ = 0;
   std::int64_t requests_ = 0;
   std::int64_t replica_commits_ = 0;
   std::int64_t disk_bytes_ = 0;

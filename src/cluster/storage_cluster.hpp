@@ -5,11 +5,13 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/config.hpp"
 #include "cluster/errors.hpp"
 #include "cluster/partition_server.hpp"
+#include "faults/fault_plan.hpp"
 #include "netsim/network.hpp"
 #include "netsim/nic.hpp"
 #include "simcore/rate_limiter.hpp"
@@ -57,6 +59,20 @@ class StorageCluster {
   const ClusterConfig& config() const noexcept { return cfg_; }
   netsim::Network& network() noexcept { return network_; }
 
+  /// Arms fault injection: link faults on the network, plus — when the plan
+  /// schedules server crashes — a driver process that crashes and restarts
+  /// partition servers per the plan's precomputed schedule. Requests routed
+  /// to a down primary fail over to the next healthy server; a crash while
+  /// a request is in flight resets the client's connection.
+  void enable_faults(faults::FaultPlan& plan) {
+    faults_ = &plan;
+    network_.set_fault_plan(&plan);
+    if (plan.config().server_faults_enabled()) {
+      sim_.spawn(crash_driver(), "fault-crash-driver");
+    }
+  }
+  faults::FaultPlan* fault_plan() const noexcept { return faults_; }
+
   int server_index(std::uint64_t partition_hash) const noexcept {
     return static_cast<int>(partition_hash %
                             static_cast<std::uint64_t>(servers_.size()));
@@ -86,7 +102,13 @@ class StorageCluster {
     }
     ++total_requests_;
 
-    PartitionServer& primary = server(server_index(partition_hash));
+    PartitionServer* primary = &server(server_index(partition_hash));
+    if (faults_ != nullptr && !primary->up()) {
+      // The partition map reassigns the range to the next healthy server;
+      // the client pays the re-route before reaching it.
+      primary = &failover_target(*primary);
+      co_await sim_.delay(faults_->config().failover_latency);
+    }
 
     // Request path: client uplink -> account ingress shaping -> front-end ->
     // primary NIC.
@@ -94,16 +116,26 @@ class StorageCluster {
       co_await account_ingress_.acquire(
           static_cast<double>(cost.request_bytes));
     }
-    co_await network_.transfer(client, primary.nic(), cost.request_bytes);
+    co_await network_.transfer(client, primary->nic(), cost.request_bytes);
     co_await sim_.delay(cfg_.frontend_latency);
 
     // Server-side processing (executor + CPU + disk).
-    co_await primary.process(cost.server_cpu, cost.disk_bytes);
+    co_await primary->process(cost.server_cpu, cost.disk_bytes);
 
     // Synchronous replication: payload flows from the primary to each of the
     // other replicas in parallel; the request acks when the slowest commits.
     if (cost.replicate && cfg_.replicas > 1) {
-      co_await replicate(primary, cost.disk_bytes);
+      co_await replicate(*primary, cost.disk_bytes);
+    }
+
+    // A crash while the request was being served kills the connection: the
+    // executor's output dies with the process and no response is sent. The
+    // client cannot know whether the mutation was applied (here it was not —
+    // services apply state only after execute() returns).
+    if (faults_ != nullptr && !primary->up()) {
+      throw ConnectionResetError("partition server " +
+                                 std::to_string(primary->index()) +
+                                 " crashed while serving the request");
     }
 
     // Response path mirrors the request path.
@@ -111,7 +143,7 @@ class StorageCluster {
       co_await account_egress_.acquire(
           static_cast<double>(cost.response_bytes));
     }
-    co_await network_.transfer(primary.nic(), client, cost.response_bytes);
+    co_await network_.transfer(primary->nic(), client, cost.response_bytes);
   }
 
   std::int64_t total_requests() const noexcept { return total_requests_; }
@@ -174,14 +206,49 @@ class StorageCluster {
   sim::Task<void> replica_send(PartitionServer& primary,
                                PartitionServer& replica, std::int64_t bytes,
                                sim::WaitGroup& wg) {
+    if (faults_ != nullptr && !replica.up()) {
+      // A down replica does not block the commit: the stream layer seals
+      // its extent and re-routes the append to a healthy extent node, for
+      // the price of the failover latency (Calder et al., SOSP'11 §4).
+      co_await sim_.delay(cfg_.replica_commit_latency +
+                          faults_->config().failover_latency);
+      wg.done();
+      co_return;
+    }
     if (bytes > 0) co_await primary.nic().send(bytes);
     co_await sim_.delay(network_.config().propagation);
     co_await replica.replica_commit(bytes);
     wg.done();
   }
 
+  /// Next healthy server after `down` in ring order.
+  PartitionServer& failover_target(PartitionServer& down) {
+    const int n = static_cast<int>(servers_.size());
+    for (int k = 1; k < n; ++k) {
+      PartitionServer& candidate = server((down.index() + k) % n);
+      if (candidate.up()) return candidate;
+    }
+    throw ConnectionResetError("no healthy partition server available");
+  }
+
+  /// Executes the plan's precomputed crash schedule, one crash at a time
+  /// (the downtime serializes crashes, so at most one server is down).
+  sim::Task<void> crash_driver() {
+    for (const faults::FaultPlan::CrashEvent& ev : faults_->crash_schedule()) {
+      co_await sim_.delay(ev.after_previous);
+      PartitionServer& victim = server(static_cast<int>(
+          ev.victim_raw % static_cast<std::uint64_t>(servers_.size())));
+      victim.crash();
+      faults_->record(faults::FaultKind::kServerCrash, victim.index());
+      co_await sim_.delay(faults_->config().server_downtime);
+      victim.restart();
+      faults_->record(faults::FaultKind::kServerRestart, victim.index());
+    }
+  }
+
   sim::Simulation& sim_;
   ClusterConfig cfg_;
+  faults::FaultPlan* faults_ = nullptr;
   netsim::Network network_;
   sim::WindowCounter account_tx_;
   sim::FlowLimiter account_ingress_;

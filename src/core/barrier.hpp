@@ -36,12 +36,18 @@ class QueueBarrier {
                                      : azure::limits::kMessageTtlSeconds *
                                            sim::kSecond) {}
 
+  /// Retry policy for the barrier's queue traffic. Defaults to the paper's
+  /// fixed 1 s ServerBusy policy (Algorithm 2 is a paper workload); chaos
+  /// harnesses swap in a fault-tolerant policy.
+  void set_retry_policy(const azure::RetryPolicy& policy) { retry_ = policy; }
+
   /// Creates the barrier queue (idempotent; any worker may call it).
   sim::Task<void> provision() {
     auto q = account_.create_cloud_queue_client().get_queue_reference(
         queue_name_);
     co_await azure::with_retry(account_.environment().simulation(),
-                               [&] { return q.create_if_not_exists(); });
+                               [&] { return q.create_if_not_exists(); },
+                               retry_);
   }
 
   /// Enters the barrier and suspends until all workers have arrived.
@@ -58,7 +64,7 @@ class QueueBarrier {
     const sim::TimePoint entered = sim.now();
     co_await azure::with_retry(sim, [&] {
       return q.add_message(azure::Payload::bytes("sync"), message_ttl_);
-    });
+    }, retry_);
     for (;;) {
       if (sim.now() - entered > message_ttl_) {
         throw azure::StorageError(
@@ -66,7 +72,7 @@ class QueueBarrier {
             "(experiment too long for Algorithm 2)");
       }
       const std::int64_t arrived = co_await azure::with_retry(
-          sim, [&] { return q.get_message_count(); });
+          sim, [&] { return q.get_message_count(); }, retry_);
       if (arrived >= static_cast<std::int64_t>(workers_) * sync_count_) {
         co_return;
       }
@@ -86,6 +92,7 @@ class QueueBarrier {
   std::string queue_name_;
   int workers_;
   sim::Duration message_ttl_;
+  azure::RetryPolicy retry_ = azure::RetryPolicy::paper();
   int sync_count_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "azure/cloud_storage_account.hpp"
@@ -17,6 +18,14 @@ namespace {
 constexpr const char* kContainer = "azurebench";
 constexpr const char* kPageBlob = "AzureBenchPageBlob";
 constexpr const char* kBlockBlob = "AzureBenchBlockBlob";
+
+/// The figure workloads reproduce the paper's client behaviour exactly:
+/// fixed 1 s sleep on ServerBusy (RetryPolicy::paper()).
+template <class MakeOp>
+auto paper_retry(sim::Simulation& sim, MakeOp make_op) {
+  return azure::with_retry(sim, std::move(make_op),
+                           azure::RetryPolicy::paper());
+}
 
 std::string block_id(int i) {
   char buf[16];
@@ -61,7 +70,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
         static_cast<std::int64_t>(cfg.chunks) * cfg.chunk_bytes;
 
     if (ctx.id() == 0) {
-      co_await azure::with_retry(sim,
+      co_await paper_retry(sim,
                                  [&] { return page_blob.create(blob_bytes); });
     }
     co_await sync();
@@ -73,7 +82,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
       for (int i = ctx.id(); i < cfg.chunks; i += cfg.workers) {
         const std::int64_t offset = static_cast<std::int64_t>(i) *
                                     cfg.chunk_bytes;
-        co_await azure::with_retry(sim, [&] {
+        co_await paper_retry(sim, [&] {
           return page_blob.put_page(offset,
                                     azure::Payload::synthetic(cfg.chunk_bytes));
         });
@@ -86,7 +95,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
     {
       const sim::TimePoint t0 = sim.now();
       for (int i = ctx.id(); i < cfg.chunks; i += cfg.workers) {
-        co_await azure::with_retry(sim, [&] {
+        co_await paper_retry(sim, [&] {
           return block_blob.put_block(
               block_id(i), azure::Payload::synthetic(cfg.chunk_bytes));
         });
@@ -104,7 +113,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
       ids.reserve(static_cast<std::size_t>(cfg.chunks));
       for (int i = 0; i < cfg.chunks; ++i) ids.push_back(block_id(i));
       const sim::TimePoint t0 = sim.now();
-      co_await azure::with_retry(sim,
+      co_await paper_retry(sim,
                                  [&] { return block_blob.put_block_list(ids); });
       shared.collector.record("block-upload", repeat * 2 + 1, t0, sim.now());
     }
@@ -117,7 +126,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
       for (int i = 0; i < cfg.chunks; ++i) {
         const std::int64_t page =
             rng.uniform(0, cfg.chunks - 1) * cfg.chunk_bytes;
-        co_await azure::with_retry(sim, [&] {
+        co_await paper_retry(sim, [&] {
           return page_blob.get_page(page, cfg.chunk_bytes, /*random=*/true);
         });
       }
@@ -129,7 +138,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
     {
       const sim::TimePoint t0 = sim.now();
       for (int i = 0; i < cfg.chunks; ++i) {
-        co_await azure::with_retry(sim, [&] { return block_blob.get_block(i); });
+        co_await paper_retry(sim, [&] { return block_blob.get_block(i); });
       }
       shared.collector.record("block-seq-read", repeat, t0, sim.now());
     }
@@ -138,21 +147,21 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
     // -------------------------------------------------- full blob reads --
     {
       const sim::TimePoint t0 = sim.now();
-      co_await azure::with_retry(sim, [&] { return page_blob.open_read(); });
+      co_await paper_retry(sim, [&] { return page_blob.open_read(); });
       shared.collector.record("page-full-read", repeat, t0, sim.now());
     }
     co_await sync();  // keep sub-phase starts aligned for clean timing
     {
       const sim::TimePoint t0 = sim.now();
-      co_await azure::with_retry(sim,
+      co_await paper_retry(sim,
                                  [&] { return block_blob.download_text(); });
       shared.collector.record("block-full-read", repeat, t0, sim.now());
     }
     co_await sync();
 
     if (ctx.id() == 0) {
-      co_await azure::with_retry(sim, [&] { return page_blob.delete_blob(); });
-      co_await azure::with_retry(sim, [&] { return block_blob.delete_blob(); });
+      co_await paper_retry(sim, [&] { return page_blob.delete_blob(); });
+      co_await paper_retry(sim, [&] { return block_blob.delete_blob(); });
     }
     co_await sync();
   }

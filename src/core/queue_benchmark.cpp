@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "azure/cloud_storage_account.hpp"
 #include "azure/common/limits.hpp"
@@ -12,6 +13,14 @@
 
 namespace azurebench {
 namespace {
+
+/// The figure workloads reproduce the paper's client behaviour exactly:
+/// fixed 1 s sleep on ServerBusy (RetryPolicy::paper()).
+template <class MakeOp>
+auto paper_retry(sim::Simulation& sim, MakeOp make_op) {
+  return azure::with_retry(sim, std::move(make_op),
+                           azure::RetryPolicy::paper());
+}
 
 std::int64_t usable_payload(std::int64_t nominal) {
   return std::min<std::int64_t>(nominal, azure::limits::kMaxMessagePayloadBytes);
@@ -42,7 +51,7 @@ sim::Task<void> separate_worker(fabric::RoleContext& ctx,
   };
 
   co_await barrier.provision();  // idempotent; avoids racing worker 0
-  co_await azure::with_retry(sim, [&] { return queue.create_if_not_exists(); });
+  co_await paper_retry(sim, [&] { return queue.create_if_not_exists(); });
   co_await sync();
 
   const std::int64_t per_worker = cfg.total_messages / cfg.workers;
@@ -55,7 +64,7 @@ sim::Task<void> separate_worker(fabric::RoleContext& ctx,
     {
       const sim::TimePoint t0 = sim.now();
       for (std::int64_t m = 0; m < per_worker; ++m) {
-        co_await azure::with_retry(sim, [&] {
+        co_await paper_retry(sim, [&] {
           return queue.add_message(azure::Payload::synthetic(payload));
         });
       }
@@ -67,7 +76,7 @@ sim::Task<void> separate_worker(fabric::RoleContext& ctx,
     {
       const sim::TimePoint t0 = sim.now();
       for (std::int64_t m = 0; m < per_worker; ++m) {
-        co_await azure::with_retry(sim, [&] { return queue.peek_message(); });
+        co_await paper_retry(sim, [&] { return queue.peek_message(); });
       }
       shared.collector.record("peek-" + tag, size_index, t0, sim.now());
     }
@@ -77,10 +86,10 @@ sim::Task<void> separate_worker(fabric::RoleContext& ctx,
     {
       const sim::TimePoint t0 = sim.now();
       for (std::int64_t m = 0; m < per_worker; ++m) {
-        auto msg = co_await azure::with_retry(
+        auto msg = co_await paper_retry(
             sim, [&] { return queue.get_message(sim::seconds(3600)); });
         if (msg.has_value()) {
-          co_await azure::with_retry(sim,
+          co_await paper_retry(sim,
                                      [&] { return queue.delete_message(*msg); });
         }
       }
@@ -89,7 +98,7 @@ sim::Task<void> separate_worker(fabric::RoleContext& ctx,
     co_await sync();
     ++size_index;
   }
-  co_await azure::with_retry(sim, [&] { return queue.delete_queue(); });
+  co_await paper_retry(sim, [&] { return queue.delete_queue(); });
 }
 
 // ---------------------------------------------- Algorithm 4: shared queue ----
@@ -137,7 +146,7 @@ sim::Task<void> shared_worker(fabric::RoleContext& ctx, SharedShared& shared) {
     for (std::int64_t round = 0; round < rounds; ++round) {
       for (std::int64_t m = 0; m < per_round; ++m) {
         sim::TimePoint t0 = sim.now();
-        co_await azure::with_retry(sim, [&] {
+        co_await paper_retry(sim, [&] {
           return queue.add_message(
               azure::Payload::synthetic(cfg.message_size));
         });
@@ -146,16 +155,16 @@ sim::Task<void> shared_worker(fabric::RoleContext& ctx, SharedShared& shared) {
         co_await sim.delay(jittered(think));
 
         t0 = sim.now();
-        co_await azure::with_retry(sim, [&] { return queue.peek_message(); });
+        co_await paper_retry(sim, [&] { return queue.peek_message(); });
         totals.peek += sim.now() - t0;
         ++totals.peek_ops;
         co_await sim.delay(jittered(think));
 
         t0 = sim.now();
-        auto msg = co_await azure::with_retry(
+        auto msg = co_await paper_retry(
             sim, [&] { return queue.get_message(sim::seconds(3600)); });
         if (msg.has_value()) {
-          co_await azure::with_retry(sim,
+          co_await paper_retry(sim,
                                      [&] { return queue.delete_message(*msg); });
         }
         totals.get += sim.now() - t0;

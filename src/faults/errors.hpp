@@ -1,0 +1,37 @@
+// Error types surfaced by injected infrastructure faults.
+//
+// These are deliberately *not* part of the storage-service error hierarchy
+// (cluster::StorageError): a 404 or an ETag mismatch is a semantic answer
+// from the service, while a timeout or a reset is the absence of an answer —
+// the client cannot know whether the operation was applied. The retry layer
+// (azure/common/retry.hpp) classifies each class separately.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace faults {
+
+/// Base class for client-visible infrastructure failures injected by a
+/// FaultPlan (as opposed to service-semantic errors like NotFound).
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request or its response was lost in the network; the client gave up
+/// after its detection timeout. The operation may or may not have been
+/// applied server-side (HTTP client timeout in real Azure).
+class TimeoutError : public FaultError {
+ public:
+  explicit TimeoutError(const std::string& what) : FaultError(what) {}
+};
+
+/// The connection died mid-request — the serving partition server crashed
+/// (or every candidate server was down). The operation's fate is unknown.
+class ConnectionResetError : public FaultError {
+ public:
+  explicit ConnectionResetError(const std::string& what) : FaultError(what) {}
+};
+
+}  // namespace faults

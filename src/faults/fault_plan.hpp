@@ -1,0 +1,176 @@
+// Deterministic, seeded fault injection for the simulated cloud.
+//
+// A FaultPlan is a pure schedule: every decision (does this transfer drop?
+// which server crashes next? how long is this latency spike?) derives from
+// a seeded sim::Random, so two runs with the same seed inject byte-identical
+// fault sequences. Determinism rests on two properties:
+//
+//  1. The server-crash schedule is materialized eagerly at construction from
+//     its own forked RNG stream, so it cannot be perturbed by how many link
+//     faults the workload happens to draw.
+//  2. Link-fault decisions consume exactly one RNG draw per consulted
+//     transfer (plus one more only when a latency spike fires), and
+//     transfers are executed in the scheduler's (at, seq) total order — so
+//     the draw sequence is itself a deterministic function of the seed.
+//
+// With a default-constructed FaultConfig the plan is disabled: no RNG is
+// ever consulted, no events are scheduled, and the simulation is
+// byte-identical to one without a plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace faults {
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA'017;
+
+  // ------------------------------------------- link faults (per transfer) ----
+  /// Probability that a transfer is lost (client observes TimeoutError
+  /// after `drop_timeout`; the operation is not applied).
+  double drop_probability = 0;
+  /// Probability that a transfer's payload is retransmitted (the flow pays
+  /// its occupancy twice; the transport dedupes, so no semantic effect).
+  double duplicate_probability = 0;
+  /// Probability of a latency spike on a transfer's propagation path.
+  double latency_spike_probability = 0;
+  /// Mean of the (exponential) latency-spike duration.
+  sim::Duration latency_spike_mean = sim::millis(20);
+  /// How long a client waits before declaring a lost message timed out.
+  sim::Duration drop_timeout = sim::seconds(2);
+
+  // ---------------------------------------------------- server faults ----
+  /// Total partition-server crashes to inject (0 disables the crash driver).
+  int server_crashes = 0;
+  /// Mean (exponential) interval between crash injections.
+  sim::Duration crash_mean_interval = sim::seconds(30);
+  /// How long a crashed server stays down before restarting. Crashes are
+  /// injected sequentially, so at most one server is down at a time.
+  sim::Duration server_downtime = sim::seconds(5);
+  /// Extra latency a request pays when its partition is re-routed to a
+  /// healthy server because the primary is down.
+  sim::Duration failover_latency = sim::millis(20);
+
+  bool link_faults_enabled() const noexcept {
+    return drop_probability > 0 || duplicate_probability > 0 ||
+           latency_spike_probability > 0;
+  }
+  bool server_faults_enabled() const noexcept { return server_crashes > 0; }
+  bool enabled() const noexcept {
+    return link_faults_enabled() || server_faults_enabled();
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  kDrop,
+  kDuplicate,
+  kLatencySpike,
+  kServerCrash,
+  kServerRestart,
+};
+
+/// One injected fault, as recorded in the plan's log. The log is part of
+/// the determinism contract: identical seeds must yield identical logs.
+struct FaultRecord {
+  sim::TimePoint at = 0;
+  FaultKind kind{};
+  /// Link faults: payload bytes of the affected transfer.
+  /// Server faults: index of the crashed/restarted server.
+  std::int64_t detail = 0;
+  bool operator==(const FaultRecord&) const = default;
+};
+
+/// Outcome of one link-fault consultation.
+enum class LinkFault : std::uint8_t { kNone, kDrop, kDuplicate, kLatencySpike };
+
+class FaultPlan {
+ public:
+  FaultPlan(sim::Simulation& sim, const FaultConfig& cfg = {})
+      : sim_(&sim), cfg_(cfg), link_rng_(cfg.seed) {
+    // Fork the crash stream off the link stream *before* any link draws,
+    // then materialize the whole crash schedule up front.
+    sim::Random crash_rng = link_rng_.fork();
+    crash_schedule_.reserve(static_cast<std::size_t>(cfg.server_crashes));
+    for (int i = 0; i < cfg.server_crashes; ++i) {
+      CrashEvent ev;
+      ev.after_previous = static_cast<sim::Duration>(crash_rng.exponential(
+          static_cast<double>(cfg.crash_mean_interval)));
+      ev.victim_raw = crash_rng.next_u64();
+      crash_schedule_.push_back(ev);
+    }
+  }
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  const FaultConfig& config() const noexcept { return cfg_; }
+  bool enabled() const noexcept { return cfg_.enabled(); }
+
+  /// Consulted once per network transfer. Draws exactly one uniform value
+  /// (the three probabilities partition [0, 1)); non-kNone outcomes are
+  /// appended to the log.
+  LinkFault draw_link_fault(std::int64_t bytes) {
+    if (!cfg_.link_faults_enabled()) return LinkFault::kNone;
+    const double u = link_rng_.next_double();
+    if (u < cfg_.drop_probability) {
+      record(FaultKind::kDrop, bytes);
+      return LinkFault::kDrop;
+    }
+    if (u < cfg_.drop_probability + cfg_.duplicate_probability) {
+      record(FaultKind::kDuplicate, bytes);
+      return LinkFault::kDuplicate;
+    }
+    if (u < cfg_.drop_probability + cfg_.duplicate_probability +
+                cfg_.latency_spike_probability) {
+      record(FaultKind::kLatencySpike, bytes);
+      return LinkFault::kLatencySpike;
+    }
+    return LinkFault::kNone;
+  }
+
+  /// Duration of the latency spike just drawn (call only after
+  /// draw_link_fault returned kLatencySpike; consumes one RNG draw).
+  sim::Duration draw_spike_duration() {
+    const auto d = static_cast<sim::Duration>(link_rng_.exponential(
+        static_cast<double>(cfg_.latency_spike_mean)));
+    return d > 0 ? d : sim::kNanosecond;
+  }
+
+  /// The precomputed crash schedule, executed by the cluster's crash driver.
+  struct CrashEvent {
+    sim::Duration after_previous = 0;
+    /// Reduced modulo the server count at execution time (the plan does not
+    /// know the topology).
+    std::uint64_t victim_raw = 0;
+  };
+  const std::vector<CrashEvent>& crash_schedule() const noexcept {
+    return crash_schedule_;
+  }
+
+  /// Appends a fault to the log, stamped with the current virtual time.
+  void record(FaultKind kind, std::int64_t detail) {
+    log_.push_back(FaultRecord{sim_->now(), kind, detail});
+  }
+
+  const std::vector<FaultRecord>& log() const noexcept { return log_; }
+
+  std::int64_t count(FaultKind kind) const noexcept {
+    std::int64_t n = 0;
+    for (const FaultRecord& r : log_) n += (r.kind == kind) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  sim::Simulation* sim_;
+  FaultConfig cfg_;
+  sim::Random link_rng_;
+  std::vector<CrashEvent> crash_schedule_;
+  std::vector<FaultRecord> log_;
+};
+
+}  // namespace faults

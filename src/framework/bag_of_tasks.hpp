@@ -53,6 +53,11 @@ struct BagOfTasksConfig {
   /// timeout are not re-delivered to another worker. Set false to get the
   /// bare 2010-era behaviour (and duplicate execution of long tasks).
   bool renew_task_leases = true;
+  /// Retry policy for all of the framework's own storage traffic. Defaults
+  /// to capped exponential backoff with every transient class retryable, so
+  /// the framework rides out injected timeouts/resets; swap in
+  /// RetryPolicy::paper() to reproduce the paper's fixed-1s behaviour.
+  azure::RetryPolicy retry{};
 };
 
 /// One task as seen by a worker.
@@ -76,16 +81,20 @@ class BagOfTasksApp {
 
   /// Creates the queues and the spill container. Call once before use.
   sim::Task<void> provision() {
+    auto& sim = account_.environment().simulation();
     auto queues = account_.create_cloud_queue_client();
     for (int i = 0; i < cfg_.task_queue_shards; ++i) {
-      co_await queues.get_queue_reference(shard_name(i))
-          .create_if_not_exists();
+      auto q = queues.get_queue_reference(shard_name(i));
+      co_await azure::with_retry(
+          sim, [&] { return q.create_if_not_exists(); }, cfg_.retry);
     }
-    co_await queues.get_queue_reference(cfg_.termination_queue)
-        .create_if_not_exists();
-    co_await account_.create_cloud_blob_client()
-        .get_container_reference(cfg_.spill_container)
-        .create_if_not_exists();
+    auto termination = queues.get_queue_reference(cfg_.termination_queue);
+    co_await azure::with_retry(
+        sim, [&] { return termination.create_if_not_exists(); }, cfg_.retry);
+    auto spill = account_.create_cloud_blob_client().get_container_reference(
+        cfg_.spill_container);
+    co_await azure::with_retry(
+        sim, [&] { return spill.create_if_not_exists(); }, cfg_.retry);
   }
 
   /// Enqueues one task. Oversized descriptors spill into Blob storage.
@@ -104,14 +113,15 @@ class BagOfTasksApp {
                       .get_block_blob_reference(blob_name);
       co_await azure::with_retry(sim, [&] {
         return blob.upload_text(azure::Payload::bytes(body));
-      });
+      }, cfg_.retry);
       co_await azure::with_retry(sim, [&] {
         return q.add_message(
             azure::Payload::bytes(std::string(kSpillMarker) + blob_name));
-      });
+      }, cfg_.retry);
     } else {
       co_await azure::with_retry(
-          sim, [&] { return q.add_message(azure::Payload::bytes(body)); });
+          sim, [&] { return q.add_message(azure::Payload::bytes(body)); },
+          cfg_.retry);
     }
     ++submitted_;
   }
@@ -119,9 +129,11 @@ class BagOfTasksApp {
   /// Progress so far: number of phase-completion signals workers have put
   /// on the termination-indicator queue.
   sim::Task<std::int64_t> completed_count() {
+    auto& sim = account_.environment().simulation();
     auto q = account_.create_cloud_queue_client().get_queue_reference(
         cfg_.termination_queue);
-    co_return co_await q.get_message_count();
+    co_return co_await azure::with_retry(
+        sim, [&] { return q.get_message_count(); }, cfg_.retry);
   }
 
   /// Blocks (in virtual time) until `expected` completions are signalled.
@@ -160,7 +172,7 @@ class BagOfTasksApp {
       try {
         msg = co_await azure::with_retry(sim, [&] {
           return q.get_message(cfg_.task_visibility_timeout);
-        });
+        }, cfg_.retry);
       } catch (const azure::NotFoundError&) {
         // Workers may boot before the web role has provisioned the queues;
         // treat that like an empty poll.
@@ -186,9 +198,32 @@ class BagOfTasksApp {
         sim.spawn(renew_lease(sim, q, current, handler_done, lease_lost,
                               renewal));
       }
-      co_await handler(task);
+      bool handler_failed = false;
+      try {
+        co_await handler(task);
+      } catch (...) {
+        handler_failed = true;
+      }
       handler_done = true;
       if (cfg_.renew_task_leases) co_await renewal.wait();
+
+      if (handler_failed) {
+        // The handler crashed (e.g. an un-retried injected fault escaped
+        // it). The task is NOT deleted, so the visibility timeout
+        // guarantees redelivery; a best-effort UpdateMessage(0) makes it
+        // visible again immediately instead of after the full timeout.
+        ++handler_failures_;
+        if (!lease_lost) {
+          try {
+            co_await q.update_message(current, 0);
+          } catch (const azure::StorageError&) {
+            // Lease raced away or the requeue itself failed: the timeout
+            // still redelivers the task, just later.
+          } catch (const azure::FaultError&) {
+          }
+        }
+        continue;
+      }
 
       // Consumers delete after processing; if a worker died here, the
       // message would reappear after the visibility timeout. When the
@@ -197,7 +232,8 @@ class BagOfTasksApp {
       if (!lease_lost) {
         bool still_owned = true;
         try {
-          co_await q.delete_message(current);
+          co_await azure::with_retry(
+              sim, [&] { return q.delete_message(current); }, cfg_.retry);
         } catch (const azure::PreconditionFailedError&) {
           still_owned = false;
         } catch (const azure::NotFoundError&) {
@@ -206,11 +242,15 @@ class BagOfTasksApp {
         if (still_owned) {
           co_await azure::with_retry(sim, [&] {
             return termination.add_message(azure::Payload::bytes("done"));
-          });
+          }, cfg_.retry);
         }
       }
     }
   }
+
+  /// Handler invocations that ended in an exception (each one leads to a
+  /// redelivery of the task).
+  std::int64_t handler_failures() const noexcept { return handler_failures_; }
 
  private:
   static constexpr std::string_view kSpillMarker = "\x01spill:";
@@ -237,10 +277,15 @@ class BagOfTasksApp {
         // message means the lease is genuinely gone.
         current = co_await azure::with_retry(sim, [&] {
           return queue.update_message(current, cfg_.task_visibility_timeout);
-        });
+        }, cfg_.retry);
       } catch (const azure::PreconditionFailedError&) {
         lost = true;
       } catch (const azure::NotFoundError&) {
+        lost = true;
+      } catch (const azure::FaultError&) {
+        // Renewal exhausted its retries against injected faults: assume the
+        // worst (the message may reappear) rather than crash the renewal
+        // coroutine.
         lost = true;
       }
       if (lost) {
@@ -259,11 +304,13 @@ class BagOfTasksApp {
                                     const azure::Payload& message) {
     const std::string& text = message.data();
     if (text.rfind(kSpillMarker, 0) == 0) {
+      auto& sim = account.environment().simulation();
       const std::string blob_name = text.substr(kSpillMarker.size());
       auto blob = account.create_cloud_blob_client()
                       .get_container_reference(cfg_.spill_container)
                       .get_block_blob_reference(blob_name);
-      auto payload = co_await blob.download_text();
+      auto payload = co_await azure::with_retry(
+          sim, [&] { return blob.download_text(); }, cfg_.retry);
       co_return TaskDescriptor{payload.data(), payload.size()};
     }
     co_return TaskDescriptor{text, message.size()};
@@ -274,6 +321,7 @@ class BagOfTasksApp {
   int next_shard_ = 0;
   std::int64_t next_task_id_ = 0;
   std::int64_t submitted_ = 0;
+  std::int64_t handler_failures_ = 0;
 };
 
 }  // namespace framework

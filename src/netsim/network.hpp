@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "faults/errors.hpp"
+#include "faults/fault_plan.hpp"
 #include "netsim/nic.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/task.hpp"
@@ -30,13 +33,46 @@ class Network {
   sim::Simulation& simulation() const noexcept { return sim_; }
   const NetworkConfig& config() const noexcept { return cfg_; }
 
+  /// Installs (or clears, with nullptr) the fault plan consulted on every
+  /// transfer. With no plan — or a disabled one — transfer timing and event
+  /// sequences are byte-identical to a fault-free build.
+  void set_fault_plan(faults::FaultPlan* plan) noexcept { plan_ = plan; }
+  faults::FaultPlan* fault_plan() const noexcept { return plan_; }
+
   /// Transfers `bytes` from `src` to `dst` (0 bytes = a control message that
   /// only pays NIC latency + propagation).
+  ///
+  /// Under an active fault plan a transfer may additionally
+  ///  * be dropped — the sender's occupancy is paid but the message never
+  ///    arrives; the caller observes faults::TimeoutError after the plan's
+  ///    drop_timeout (the flow-level rendering of a lost packet train);
+  ///  * be duplicated — the payload pays its link occupancy twice (a
+  ///    retransmission; the transport dedupes, so no semantic effect);
+  ///  * hit a latency spike — extra propagation delay on this hop.
   sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
+    faults::LinkFault fault = faults::LinkFault::kNone;
+    if (plan_ != nullptr) fault = plan_->draw_link_fault(bytes);
+
     if (bytes > 0) co_await src.send(bytes);
-    co_await sim_.delay(src.config().latency + cfg_.propagation +
+    if (fault == faults::LinkFault::kDrop) {
+      ++dropped_transfers_;
+      co_await sim_.delay(plan_->config().drop_timeout);
+      throw faults::TimeoutError("transfer lost in the network (" +
+                                 std::to_string(bytes) + " bytes)");
+    }
+    if (fault == faults::LinkFault::kDuplicate && bytes > 0) {
+      co_await src.send(bytes);  // retransmission occupies the uplink again
+    }
+    sim::Duration propagation = cfg_.propagation;
+    if (fault == faults::LinkFault::kLatencySpike) {
+      propagation += plan_->draw_spike_duration();
+    }
+    co_await sim_.delay(src.config().latency + propagation +
                         dst.config().latency);
-    if (bytes > 0) co_await dst.receive(bytes);
+    if (bytes > 0) {
+      co_await dst.receive(bytes);
+      if (fault == faults::LinkFault::kDuplicate) co_await dst.receive(bytes);
+    }
     ++transfers_;
     bytes_moved_ += bytes;
   }
@@ -48,12 +84,15 @@ class Network {
 
   std::int64_t transfers() const noexcept { return transfers_; }
   std::int64_t bytes_moved() const noexcept { return bytes_moved_; }
+  std::int64_t dropped_transfers() const noexcept { return dropped_transfers_; }
 
  private:
   sim::Simulation& sim_;
   NetworkConfig cfg_;
+  faults::FaultPlan* plan_ = nullptr;
   std::int64_t transfers_ = 0;
   std::int64_t bytes_moved_ = 0;
+  std::int64_t dropped_transfers_ = 0;
 };
 
 }  // namespace netsim

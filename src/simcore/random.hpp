@@ -53,6 +53,9 @@ class Random {
     return lo + static_cast<std::int64_t>(m >> 64);
   }
 
+  /// True with probability `p` (one draw; p <= 0 never, p >= 1 always).
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
   /// Exponentially distributed value with the given mean.
   double exponential(double mean) noexcept {
     double u = next_double();

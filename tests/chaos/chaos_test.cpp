@@ -1,0 +1,285 @@
+// Chaos suite: the paper's workloads under seeded fault plans.
+//
+// Each scenario runs a figure-style workload (fig6/fig7 queue fleets, fig8
+// table fleets, the Section III bag-of-tasks framework) with the
+// fault-injection layer armed — message drops, duplications, latency
+// spikes, and partition-server crash/restart cycles — and asserts the
+// paper's fault-tolerance claims as invariants:
+//
+//  * queue messages are processed at least once; none are ever lost;
+//  * idempotent table writes are neither lost nor double-applied;
+//  * the bag-of-tasks run completes despite crashing workers, because the
+//    visibility timeout re-delivers abandoned tasks;
+//  * identical fault seeds reproduce byte-identical runs (fault log, event
+//    count, final virtual time); different seeds diverge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "azure_test_util.hpp"
+#include "azure/common/errors.hpp"
+#include "azure/common/retry.hpp"
+#include "fabric/deployment.hpp"
+#include "faults/fault_plan.hpp"
+#include "framework/bag_of_tasks.hpp"
+#include "simcore/random.hpp"
+#include "simcore/sync.hpp"
+
+namespace {
+
+using azb_test::TestWorld;
+using azure::Payload;
+using framework::BagOfTasksApp;
+using framework::BagOfTasksConfig;
+using framework::TaskDescriptor;
+using sim::Task;
+
+/// The fault-tolerant client policy every chaos scenario uses: quick first
+/// retry, capped exponential growth, decorrelated per-worker jitter.
+azure::RetryPolicy chaos_retry(int worker_id) {
+  azure::RetryPolicy p;
+  p.backoff = sim::millis(250);
+  p.max_backoff = sim::seconds(2);
+  p.jitter_seed = static_cast<std::uint64_t>(worker_id);
+  return p;
+}
+
+/// A moderately hostile cloud: ~4% of transfers faulted, four server
+/// crash/restart cycles over the run.
+azure::CloudConfig chaos_cloud(std::uint64_t seed) {
+  azure::CloudConfig cfg;
+  cfg.faults.seed = seed;
+  cfg.faults.drop_probability = 0.015;
+  cfg.faults.duplicate_probability = 0.01;
+  cfg.faults.latency_spike_probability = 0.02;
+  cfg.faults.drop_timeout = sim::millis(300);
+  cfg.faults.server_crashes = 4;
+  cfg.faults.crash_mean_interval = sim::seconds(4);
+  cfg.faults.server_downtime = sim::seconds(1);
+  return cfg;
+}
+
+// ------------------------------------------------ fig6/fig7 queue chaos ----
+
+struct QueueChaosResult {
+  sim::TimePoint final_time = 0;
+  std::uint64_t events = 0;
+  std::vector<faults::FaultRecord> fault_log;
+  std::int64_t redeliveries = 0;
+  std::int64_t abandons = 0;
+  std::int64_t deletes = 0;
+  bool operator==(const QueueChaosResult&) const = default;
+};
+
+/// One fig6-style worker: drives its own queue (put batch, then drain),
+/// with a seeded coin occasionally "crashing" the consumer between get and
+/// delete — the abandoned message must come back via the visibility
+/// timeout.
+Task<> fig6_chaos_worker(TestWorld& t, int id, int messages,
+                         std::int64_t& abandons, std::int64_t& deletes,
+                         sim::WaitGroup& wg) {
+  const azure::RetryPolicy retry = chaos_retry(id);
+  sim::Random rng(0x516u + static_cast<std::uint64_t>(id) * 2654435761u);
+  auto q = t.account.create_cloud_queue_client().get_queue_reference(
+      "fig6-q-" + std::to_string(id));
+  co_await azure::with_retry(
+      t.sim, [&] { return q.create_if_not_exists(); }, retry);
+  for (int k = 0; k < messages; ++k) {
+    co_await azure::with_retry(t.sim, [&] {
+      return q.add_message(Payload::bytes("m-" + std::to_string(k)));
+    }, retry);
+    co_await t.sim.delay(sim::millis(rng.uniform(10, 40)));
+  }
+  int done = 0;
+  while (done < messages) {
+    CO_ASSERT_TRUE(t.sim.now() < sim::seconds(900));  // lost-message guard
+    auto m = co_await azure::with_retry(
+        t.sim, [&] { return q.get_message(sim::seconds(5)); }, retry);
+    if (!m.has_value()) {
+      co_await t.sim.delay(sim::millis(200));
+      continue;
+    }
+    if (rng.bernoulli(0.15)) {
+      ++abandons;  // consumer crash before delete; no ack
+      continue;
+    }
+    co_await azure::with_retry(
+        t.sim, [&] { return q.delete_message(*m); }, retry);
+    ++done;
+    ++deletes;
+  }
+  wg.done();
+}
+
+QueueChaosResult run_queue_chaos(std::uint64_t seed, int workers,
+                                 int messages) {
+  TestWorld w(chaos_cloud(seed));
+  QueueChaosResult r;
+  sim::WaitGroup wg(w.sim);
+  for (int i = 0; i < workers; ++i) {
+    wg.add();
+    w.sim.spawn(
+        fig6_chaos_worker(w, i, messages, r.abandons, r.deletes, wg));
+  }
+  w.sim.run();
+  r.final_time = w.sim.now();
+  r.events = w.sim.events_executed();
+  r.fault_log = w.env.fault_plan().log();
+  r.redeliveries = w.env.queue_service().redeliveries();
+  return r;
+}
+
+TEST(ChaosQueueTest, Fig6FleetProcessesEveryMessageAtLeastOnce) {
+  const QueueChaosResult r = run_queue_chaos(0xC0A1, /*workers=*/24,
+                                             /*messages=*/8);
+  // Completion despite injected failures: every worker deleted its full
+  // batch (the drain loop cannot exit otherwise), so no message was lost.
+  EXPECT_EQ(r.deletes, 24 * 8);
+  // Every abandoned delivery came back exactly once per abandonment.
+  EXPECT_EQ(r.redeliveries, r.abandons);
+  EXPECT_GT(r.abandons, 0);
+  // The plan actually injected what it promised.
+  EXPECT_EQ(std::int64_t{4},
+            std::count_if(r.fault_log.begin(), r.fault_log.end(),
+                          [](const faults::FaultRecord& f) {
+                            return f.kind == faults::FaultKind::kServerCrash;
+                          }));
+  EXPECT_GT(static_cast<std::int64_t>(r.fault_log.size()), 8);
+}
+
+TEST(ChaosQueueTest, IdenticalSeedsReplayByteIdentically) {
+  const QueueChaosResult a = run_queue_chaos(0xBEEF, 8, 6);
+  const QueueChaosResult b = run_queue_chaos(0xBEEF, 8, 6);
+  EXPECT_EQ(a, b);  // final time, events, fault log, counters — everything
+}
+
+TEST(ChaosQueueTest, DifferentSeedsInjectDifferentFaults) {
+  const QueueChaosResult a = run_queue_chaos(1, 8, 6);
+  const QueueChaosResult b = run_queue_chaos(2, 8, 6);
+  EXPECT_NE(a.fault_log, b.fault_log);
+}
+
+// --------------------------------------------------- fig8 table chaos ----
+
+TEST(ChaosTableTest, IdempotentWritesAreNeitherLostNorDoubleApplied) {
+  constexpr int kWorkers = 12;
+  constexpr int kRows = 6;
+  TestWorld w(chaos_cloud(0x7AB1E));
+  std::int64_t conflicts = 0;
+  sim::WaitGroup wg(w.sim);
+  for (int i = 0; i < kWorkers; ++i) {
+    wg.add();
+    w.sim.spawn([](TestWorld& t, int id, std::int64_t& conflicts,
+                   sim::WaitGroup& wg) -> Task<> {
+      const azure::RetryPolicy retry = chaos_retry(id);
+      auto tbl =
+          t.account.create_cloud_table_client().get_table_reference("chaos");
+      co_await azure::with_retry(
+          t.sim, [&] { return tbl.create_if_not_exists(); }, retry);
+      for (int k = 0; k < kRows; ++k) {
+        azure::TableEntity e;
+        e.partition_key = "w" + std::to_string(id);
+        e.row_key = "r" + std::to_string(k);
+        e.properties["v"] = Payload::bytes("v0");
+        // Plain insert, retried on timeouts. Because a timeout means the
+        // mutation was NOT applied (services commit state only after the
+        // round-trip succeeds), the retry can never collide with its own
+        // earlier attempt — a ConflictError here would be a double-apply.
+        bool conflicted = false;
+        try {
+          co_await azure::with_retry(
+              t.sim, [&] { return tbl.insert(e); }, retry);
+        } catch (const azure::ConflictError&) {
+          conflicted = true;
+        }
+        if (conflicted) ++conflicts;
+        // Idempotent overwrite to the final version, same retry envelope.
+        e.properties["v"] = Payload::bytes("v-final");
+        co_await azure::with_retry(
+            t.sim, [&] { return tbl.insert_or_replace(e); }, retry);
+      }
+      wg.done();
+    }(w, i, conflicts, wg));
+  }
+  w.sim.run();
+  EXPECT_EQ(conflicts, 0) << "a retried insert double-applied";
+
+  // Read-back pass: every row exists exactly once with the final value.
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto tbl =
+        t.account.create_cloud_table_client().get_table_reference("chaos");
+    for (int id = 0; id < kWorkers; ++id) {
+      for (int k = 0; k < kRows; ++k) {
+        auto row = co_await tbl.query("w" + std::to_string(id),
+                                      "r" + std::to_string(k));
+        CO_ASSERT_EQ(std::get<Payload>(row.properties.at("v")).data(),
+                     std::string("v-final"));
+      }
+    }
+  });
+  EXPECT_FALSE(w.env.fault_plan().log().empty());
+}
+
+// ---------------------------------------------- bag-of-tasks chaos ----
+
+TEST(ChaosBagOfTasksTest, CompletesDespiteCrashingHandlers) {
+  constexpr int kTasks = 20;
+  TestWorld w(chaos_cloud(0xB06));
+  BagOfTasksConfig cfg;
+  cfg.task_visibility_timeout = sim::seconds(30);
+  BagOfTasksApp app(w.account, cfg);
+
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    BagOfTasksConfig c;
+    c.task_visibility_timeout = sim::seconds(30);
+    BagOfTasksApp setup(t.account, c);
+    co_await setup.provision();
+  });
+
+  w.sim.spawn([](BagOfTasksApp& a) -> Task<> {
+    for (int i = 0; i < kTasks; ++i) {
+      co_await a.submit("chaos-task-" + std::to_string(i));
+    }
+    co_await a.wait_for_completion(kTasks);
+  }(app));
+
+  // Four workers; every even-numbered task's FIRST execution crashes its
+  // handler. The framework must requeue it (fast, via UpdateMessage(0))
+  // and another execution must finish it.
+  std::map<std::string, int> executions;
+  fabric::Deployment dep(w.env);
+  dep.add_worker_roles(4);
+  dep.start_workers([&](fabric::RoleContext& ctx) -> Task<> {
+    co_await app.worker_loop(
+        ctx.account(),
+        [&](const TaskDescriptor& task) -> Task<> {
+          const int nth = ++executions[task.body];
+          const int task_id = std::stoi(task.body.substr(11));
+          if (task_id % 2 == 0 && nth == 1) {
+            throw azure::TimeoutError("simulated handler crash");
+          }
+          co_await ctx.simulation().delay(sim::millis(30));
+        },
+        /*max_idle_polls=*/12);
+  });
+  w.sim.run();
+
+  // Every task ran at least once; every designated-flaky task was retried.
+  EXPECT_EQ(static_cast<int>(executions.size()), kTasks);
+  std::int64_t expected_failures = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    const std::string body = "chaos-task-" + std::to_string(i);
+    ASSERT_TRUE(executions.count(body)) << body << " never executed";
+    if (i % 2 == 0) {
+      EXPECT_GE(executions[body], 2) << body << " was not re-delivered";
+      ++expected_failures;
+    }
+  }
+  EXPECT_EQ(app.handler_failures(), expected_failures);
+}
+
+}  // namespace

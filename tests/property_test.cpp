@@ -2,6 +2,7 @@
 // primitives (TEST_P / INSTANTIATE_TEST_SUITE_P).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "azure_test_util.hpp"
 #include "azure/common/errors.hpp"
 #include "azure/common/limits.hpp"
+#include "azure/common/retry.hpp"
 #include "core/barrier.hpp"
 #include "simcore/random.hpp"
 #include "simcore/rate_limiter.hpp"
@@ -274,6 +276,85 @@ TEST_P(BarrierLaw, NoEarlyRelease) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, BarrierLaw,
                          ::testing::Values(1, 2, 5, 17, 64));
+
+// ---------------------------------------------- fault-injection property ----
+
+/// Property: for ANY fault-plan seed, the queue's visibility-timeout
+/// mechanism preserves at-least-once delivery — no message is lost to
+/// injected drops or simulated consumer crashes — and the service's
+/// redelivery counter equals exactly the number of injected abandons
+/// (dropped requests never cause phantom claims, because services mutate
+/// state only after the cluster round-trip succeeds).
+class FaultPlanLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultPlanLaw, AtLeastOnceAndExactRedeliveryAccounting) {
+  const int seed = GetParam();
+  azure::CloudConfig cfg;
+  cfg.faults.seed = 0xF00D + static_cast<std::uint64_t>(seed);
+  cfg.faults.drop_probability = 0.02;
+  cfg.faults.duplicate_probability = 0.02;
+  cfg.faults.latency_spike_probability = 0.03;
+  cfg.faults.drop_timeout = sim::millis(200);
+  TestWorld w(cfg);
+
+  constexpr int kMessages = 18;
+  azure::RetryPolicy retry;
+  retry.backoff = sim::millis(250);
+  retry.max_backoff = sim::seconds(2);
+  retry.jitter_seed = static_cast<std::uint64_t>(seed);
+
+  std::int64_t abandons = 0;
+  std::vector<int> deliveries(kMessages, 0);
+
+  w.sim.spawn([](TestWorld& t, azure::RetryPolicy retry, int test_seed,
+                 std::int64_t& abandons,
+                 std::vector<int>& deliveries) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("pq");
+    co_await azure::with_retry(
+        t.sim, [&] { return q.create_if_not_exists(); }, retry);
+    const int n = static_cast<int>(deliveries.size());
+    for (int i = 0; i < n; ++i) {
+      co_await azure::with_retry(t.sim, [&] {
+        return q.add_message(Payload::bytes(std::to_string(i)));
+      }, retry);
+    }
+    // Consume everything; a seeded coin decides which deliveries the
+    // "consumer" abandons mid-processing (crash before delete). Abandoned
+    // messages must reappear after the visibility timeout.
+    sim::Random crash_coin(0xC0FFEE ^ static_cast<std::uint64_t>(test_seed));
+    int deleted = 0;
+    while (deleted < n) {
+      CO_ASSERT_TRUE(t.sim.now() < sim::seconds(600));  // lost-message guard
+      auto m = co_await azure::with_retry(
+          t.sim, [&] { return q.get_message(sim::seconds(5)); }, retry);
+      if (!m.has_value()) {
+        co_await t.sim.delay(sim::millis(200));
+        continue;
+      }
+      ++deliveries[static_cast<std::size_t>(std::stoi(m->body.data()))];
+      if (crash_coin.bernoulli(0.25)) {
+        ++abandons;  // crashed before deleting; never acks this delivery
+        continue;
+      }
+      co_await azure::with_retry(
+          t.sim, [&] { return q.delete_message(*m); }, retry);
+      ++deleted;
+    }
+    const std::int64_t left = co_await azure::with_retry(
+        t.sim, [&] { return q.get_message_count(); }, retry);
+    EXPECT_EQ(left, 0);
+  }(w, retry, seed, abandons, deliveries));
+  w.sim.run();
+
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_GE(deliveries[static_cast<std::size_t>(i)], 1)
+        << "message " << i << " was lost under fault seed " << seed;
+  }
+  EXPECT_EQ(w.env.queue_service().redeliveries(), abandons);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredSeeds, FaultPlanLaw,
+                         ::testing::Range(0, 200));
 
 // -------------------------------------------------- determinism property ----
 

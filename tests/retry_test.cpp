@@ -1,0 +1,263 @@
+// Error-taxonomy and backoff tests for the upgraded RetryPolicy:
+//  * each transient class (ServerBusy, Timeout, ConnectionReset) is retried
+//    or rethrown exactly per its policy switch;
+//  * service-semantic errors are never retried;
+//  * max_attempts counts total attempts and rethrows on exhaustion;
+//  * capped exponential backoff and deterministic jitter behave at edges;
+//  * the paper() preset reproduces the paper's fixed 1 s sleep, and a
+//    workload's timing depends on the policy ONLY when retries occur.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "azure_test_util.hpp"
+#include "azure/common/errors.hpp"
+#include "azure/common/retry.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using azb_test::TestWorld;
+using sim::Task;
+
+enum class Err { kTimeout, kReset, kBusy, kNotFound };
+
+/// One attempt: fails with `e` while calls <= failures, then returns 7.
+Task<int> attempt(int& calls, int failures, Err e) {
+  ++calls;
+  if (calls <= failures) {
+    switch (e) {
+      case Err::kTimeout:
+        throw azure::TimeoutError("injected timeout");
+      case Err::kReset:
+        throw azure::ConnectionResetError("injected reset");
+      case Err::kBusy:
+        throw azure::ServerBusyError("injected busy");
+      case Err::kNotFound:
+        throw azure::NotFoundError("injected 404");
+    }
+  }
+  co_return 7;
+}
+
+struct Outcome {
+  int calls = 0;
+  std::int64_t retries = 0;
+  int result = -1;
+  bool threw = false;
+  sim::TimePoint elapsed = 0;
+};
+
+/// Drives with_retry_counted over `attempt` to completion and reports what
+/// happened (exceptions of any type are recorded, not propagated).
+Outcome drive(const azure::RetryPolicy& policy, int failures, Err e) {
+  sim::Simulation s;
+  Outcome out;
+  s.spawn([](sim::Simulation& sim, azure::RetryPolicy pol, int failures,
+             Err e, Outcome& out) -> Task<> {
+    try {
+      out.result = co_await azure::with_retry_counted(
+          sim, [&] { return attempt(out.calls, failures, e); }, pol,
+          out.retries);
+    } catch (const azure::StorageError&) {
+      out.threw = true;
+    } catch (const azure::FaultError&) {
+      // Injected faults are deliberately NOT StorageErrors (a timeout is
+      // the absence of an answer, not a service answer).
+      out.threw = true;
+    }
+  }(s, policy, failures, e, out));
+  s.run();
+  out.elapsed = s.now();
+  return out;
+}
+
+azure::RetryPolicy exact_policy() {
+  azure::RetryPolicy p;
+  p.jitter = 0.0;  // exact timing assertions
+  return p;
+}
+
+// ------------------------------------------------------- per-error class ----
+
+TEST(RetryTaxonomyTest, TimeoutRetriedThenSucceeds) {
+  const Outcome o = drive(exact_policy(), 2, Err::kTimeout);
+  EXPECT_EQ(o.result, 7);
+  EXPECT_EQ(o.calls, 3);
+  EXPECT_EQ(o.retries, 2);
+  // Exponential: 500 ms then 1 s.
+  EXPECT_EQ(o.elapsed, sim::millis(500) + sim::seconds(1));
+}
+
+TEST(RetryTaxonomyTest, ConnectionResetRetriedByDefault) {
+  const Outcome o = drive(exact_policy(), 1, Err::kReset);
+  EXPECT_EQ(o.result, 7);
+  EXPECT_EQ(o.calls, 2);
+  EXPECT_EQ(o.elapsed, sim::millis(500));
+}
+
+TEST(RetryTaxonomyTest, ServerBusyRetriedByDefault) {
+  const Outcome o = drive(exact_policy(), 1, Err::kBusy);
+  EXPECT_EQ(o.result, 7);
+  EXPECT_EQ(o.calls, 2);
+}
+
+TEST(RetryTaxonomyTest, TimeoutNotRetriedWhenDisabled) {
+  azure::RetryPolicy p = exact_policy();
+  p.retry_timeouts = false;
+  const Outcome o = drive(p, 1, Err::kTimeout);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 1);
+  EXPECT_EQ(o.retries, 0);
+  EXPECT_EQ(o.elapsed, 0);  // rethrown immediately, no backoff slept
+}
+
+TEST(RetryTaxonomyTest, ConnectionResetNotRetriedWhenDisabled) {
+  azure::RetryPolicy p = exact_policy();
+  p.retry_connection_resets = false;
+  const Outcome o = drive(p, 1, Err::kReset);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 1);
+}
+
+TEST(RetryTaxonomyTest, SemanticErrorsNeverRetried) {
+  const Outcome o = drive(exact_policy(), 5, Err::kNotFound);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 1);
+  EXPECT_EQ(o.retries, 0);
+}
+
+// ----------------------------------------------------------- exhaustion ----
+
+TEST(RetryTaxonomyTest, MaxAttemptsExhaustionRethrows) {
+  azure::RetryPolicy p = exact_policy();
+  p.mode = azure::Backoff::kFixed;
+  p.max_attempts = 4;
+  const Outcome o = drive(p, 1'000'000, Err::kTimeout);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 4);    // total attempts, first included
+  EXPECT_EQ(o.retries, 3);  // backoffs slept between them
+  EXPECT_EQ(o.elapsed, 3 * sim::millis(500));
+}
+
+TEST(RetryTaxonomyTest, SingleAttemptPolicyNeverSleeps) {
+  azure::RetryPolicy p = exact_policy();
+  p.max_attempts = 1;
+  const Outcome o = drive(p, 1, Err::kBusy);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 1);
+  EXPECT_EQ(o.elapsed, 0);
+}
+
+// -------------------------------------------------------- backoff shape ----
+
+TEST(RetryBackoffTest, ExponentialGrowthCapsAtMaxBackoff) {
+  azure::RetryPolicy p;
+  p.jitter = 0.0;
+  p.backoff = sim::millis(500);
+  p.max_backoff = sim::seconds(4);
+  EXPECT_EQ(p.backoff_for(0), sim::millis(500));
+  EXPECT_EQ(p.backoff_for(1), sim::seconds(1));
+  EXPECT_EQ(p.backoff_for(2), sim::seconds(2));
+  EXPECT_EQ(p.backoff_for(3), sim::seconds(4));
+  EXPECT_EQ(p.backoff_for(4), sim::seconds(4));   // capped
+  EXPECT_EQ(p.backoff_for(30), sim::seconds(4));  // no overflow at depth
+}
+
+TEST(RetryBackoffTest, InitialBackoffAboveCapIsClamped) {
+  azure::RetryPolicy p;
+  p.jitter = 0.0;
+  p.backoff = sim::seconds(8);
+  p.max_backoff = sim::seconds(4);
+  EXPECT_EQ(p.backoff_for(0), sim::seconds(4));
+}
+
+TEST(RetryBackoffTest, JitterIsDeterministicAndBounded) {
+  azure::RetryPolicy p;  // default jitter = 0.25
+  azure::RetryPolicy q = p;
+  for (int r = 0; r < 16; ++r) {
+    const sim::Duration a = p.backoff_for(r);
+    // Same policy, same retry index => bit-identical backoff.
+    EXPECT_EQ(a, q.backoff_for(r)) << "retry " << r;
+    // Within [1 - jitter, 1 + jitter] of the un-jittered base (and never
+    // above the cap).
+    azure::RetryPolicy bare = p;
+    bare.jitter = 0.0;
+    const double base = static_cast<double>(bare.backoff_for(r));
+    EXPECT_GE(static_cast<double>(a), 0.75 * base - 1.0);
+    EXPECT_LE(static_cast<double>(a),
+              std::min(1.25 * base + 1.0,
+                       static_cast<double>(p.max_backoff)));
+    EXPECT_GT(a, 0);
+  }
+}
+
+TEST(RetryBackoffTest, DistinctJitterSeedsDecorrelate) {
+  azure::RetryPolicy a;
+  azure::RetryPolicy b;
+  b.jitter_seed = 1;
+  bool any_differ = false;
+  for (int r = 0; r < 8; ++r) {
+    any_differ = any_differ || (a.backoff_for(r) != b.backoff_for(r));
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+// ------------------------------------------------------ the paper preset ----
+
+TEST(RetryPaperPresetTest, FixedOneSecondSleep) {
+  const azure::RetryPolicy p = azure::RetryPolicy::paper();
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(p.backoff_for(r), sim::kSecond) << "retry " << r;
+  }
+}
+
+TEST(RetryPaperPresetTest, SurfacesInjectedFaultsInsteadOfHidingThem) {
+  const Outcome timeout = drive(azure::RetryPolicy::paper(), 1, Err::kTimeout);
+  EXPECT_TRUE(timeout.threw);
+  EXPECT_EQ(timeout.calls, 1);
+  const Outcome reset = drive(azure::RetryPolicy::paper(), 1, Err::kReset);
+  EXPECT_TRUE(reset.threw);
+  // ...but the paper-era ServerBusy is still retried after 1 s.
+  const Outcome busy = drive(azure::RetryPolicy::paper(), 2, Err::kBusy);
+  EXPECT_EQ(busy.result, 7);
+  EXPECT_EQ(busy.elapsed, 2 * sim::kSecond);
+}
+
+// ------------------------------------- preset divergence (regression) -------
+
+/// End-to-end queue workload under a given policy; returns the virtual end
+/// time. `tx_limit` throttles the account to force ServerBusy retries.
+sim::TimePoint queue_workload_end(const azure::RetryPolicy& policy,
+                                  int tx_limit) {
+  azure::CloudConfig cfg;
+  if (tx_limit > 0) cfg.cluster.account_transactions_per_sec = tx_limit;
+  TestWorld w(cfg);
+  w.sim.spawn([](TestWorld& t, azure::RetryPolicy pol) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("w");
+    co_await azure::with_retry(
+        t.sim, [&] { return q.create_if_not_exists(); }, pol);
+    for (int i = 0; i < 25; ++i) {
+      co_await azure::with_retry(
+          t.sim, [&] { return q.add_message(azure::Payload::bytes("m")); },
+          pol);
+    }
+  }(w, policy));
+  w.sim.run();
+  return w.sim.now();
+}
+
+TEST(RetryPaperPresetTest, PresetsDivergeOnlyWhenRetriesOccur) {
+  // Unthrottled: no retry ever fires, so the policy's backoff shape is
+  // invisible and both presets land on the identical virtual end time.
+  // This is the byte-identity guarantee the fig4-fig9 benchmarks rely on.
+  EXPECT_EQ(queue_workload_end(azure::RetryPolicy::paper(), 0),
+            queue_workload_end(azure::RetryPolicy{}, 0));
+  // Throttled: ServerBusy retries fire and the backoff shapes (fixed 1 s
+  // vs. jittered exponential) produce different schedules.
+  EXPECT_NE(queue_workload_end(azure::RetryPolicy::paper(), 2),
+            queue_workload_end(azure::RetryPolicy{}, 2));
+}
+
+}  // namespace

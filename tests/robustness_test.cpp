@@ -111,6 +111,8 @@ TEST(RetryRobustnessTest, GivesUpAfterMaxAttempts) {
     auto q = t.account.create_cloud_queue_client().get_queue_reference("fg");
     azure::RetryPolicy policy;
     policy.max_attempts = 5;
+    policy.mode = azure::Backoff::kFixed;
+    policy.jitter = 0.0;
     policy.backoff = sim::millis(900);  // always lands in a full window
     try {
       co_await azure::with_retry(
