@@ -10,7 +10,7 @@ run_config() {
   local dir="$1"
   shift
   echo "=== configure ${dir} ($*) ==="
-  cmake -B "${dir}" -S . "$@"
+  cmake -B "${dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== test ${dir} ==="
@@ -22,7 +22,28 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L chaos
 }
 
+run_tidy() {
+  local dir="$1"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy not found on PATH; skipping static analysis ==="
+    return 0
+  fi
+  echo "=== clang-tidy (${dir}) ==="
+  # Checks come from the checked-in .clang-tidy (bugprone-*, performance-*).
+  # Headers are covered transitively via HeaderFilterRegex.
+  local srcs
+  srcs=$(find src tests bench examples -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p "${dir}" -quiet -j "${JOBS}" ${srcs}
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p "${dir}" --quiet ${srcs}
+  fi
+}
+
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_tidy build-ci-release
 run_config build-ci-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAZUREBENCH_SANITIZE=ON
 

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "azure/common/checksum.hpp"
+
 namespace azure {
 namespace {
 
 namespace lim = azure::limits;
+
+/// Service salt for integrity object ids (keeps blob objects distinct from
+/// queue/table objects that might share a partition hash).
+constexpr std::uint64_t kBlobObjectSalt = 0xB10B'0B1E'C751'D000ull;
 
 /// Slice [from, from+len) out of a payload, preserving synthetic-ness.
 Payload payload_slice(const Payload& p, std::int64_t from, std::int64_t len) {
@@ -85,6 +91,11 @@ sim::Task<std::vector<std::string>> BlobService::list_blobs(
 
 // -------------------------------------------------------- shared helpers ----
 
+std::uint64_t BlobService::object_id(std::uint64_t part_hash) const {
+  const std::uint64_t id = mix_u64(kBlobObjectSalt, part_hash);
+  return id != 0 ? id : 1;
+}
+
 BlobService::Container& BlobService::require_container(
     std::string container) {
   auto it = containers_.find(container);
@@ -146,7 +157,13 @@ sim::Task<void> BlobService::chunk_read(netsim::Nic& client, BlobData& blob,
   cost.request_bytes = 256;
   cost.response_bytes = bytes;
   cost.server_cpu = cfg_.read_cpu;
-  co_await cluster_.execute(client, part_hash, cost);
+  cost.object_id = object_id(part_hash);
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, part_hash, cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError(
+        "downloaded chunk failed its Content-MD5 check");
+  }
 }
 
 // ------------------------------------------------------------ block blob ----
@@ -162,16 +179,23 @@ sim::Task<void> BlobService::upload_block_blob(netsim::Nic& client,
   require_container(container);
   BlobData& blob = make_blob(container, name, BlobProperties::Kind::kBlock);
   co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  const std::uint32_t block_crc = payload_crc(data);
+  const std::uint32_t new_crc =
+      Crc32c().update("<single-shot>").update_u64(block_crc).value();
   cluster::RequestCost cost;
   cost.request_bytes = data.size();
   cost.disk_bytes = data.size();
   cost.server_cpu = cfg_.write_cpu;
   cost.replicate = true;
+  cost.object_id = object_id(hash(container, name));
+  cost.content_crc = new_crc;
   co_await cluster_.execute(client, hash(container, name), cost);
   blob.committed.clear();
   blob.committed_size = data.size();
-  blob.committed.push_back(BlockInfo{"<single-shot>", std::move(data)});
+  blob.committed.push_back(
+      BlockInfo{"<single-shot>", std::move(data), block_crc});
   blob.uncommitted.clear();
+  blob.content_crc = new_crc;
   blob.etag = next_etag();
 }
 
@@ -189,11 +213,19 @@ sim::Task<void> BlobService::put_block(netsim::Nic& client,
   require_container(container);
   BlobData& blob = make_blob(container, name, BlobProperties::Kind::kBlock);
   co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  // Staged blocks are physically written and replicated, so staging advances
+  // the blob's version checksum (folding the staged block into the current
+  // version).
+  const std::uint32_t new_crc = static_cast<std::uint32_t>(mix_u64(
+      blob.content_crc,
+      mix_u64(Crc32c::of(block_id), payload_crc(data))));
   cluster::RequestCost cost;
   cost.request_bytes = data.size();
   cost.disk_bytes = data.size();
   cost.server_cpu = cfg_.write_cpu;
   cost.replicate = true;
+  cost.object_id = object_id(hash(container, name));
+  cost.content_crc = new_crc;
   co_await cluster_.execute(client, hash(container, name), cost);
   {
     // Appending to the blob's block index is serialized per blob — this is
@@ -202,6 +234,7 @@ sim::Task<void> BlobService::put_block(netsim::Nic& client,
     co_await cluster_.simulation().delay(cfg_.block_commit_time);
   }
   blob.uncommitted[block_id] = std::move(data);
+  blob.content_crc = new_crc;
 }
 
 sim::Task<void> BlobService::put_block_list(
@@ -221,7 +254,8 @@ sim::Task<void> BlobService::put_block_list(
   for (const auto& id : block_ids) {
     if (auto it = blob.uncommitted.find(id); it != blob.uncommitted.end()) {
       total += it->second.size();
-      new_committed.push_back(BlockInfo{id, it->second});
+      new_committed.push_back(
+          BlockInfo{id, it->second, payload_crc(it->second)});
       continue;
     }
     auto cit = std::find_if(blob.committed.begin(), blob.committed.end(),
@@ -236,6 +270,15 @@ sim::Task<void> BlobService::put_block_list(
     throw InvalidArgumentError("block blob exceeds 200 GB");
   }
 
+  // The committed content's checksum is the composite of the listed blocks'
+  // checksums, in order.
+  Crc32c composite;
+  for (const auto& b : new_committed) {
+    composite.update(b.id);
+    composite.update_u64(b.crc);
+  }
+  const std::uint32_t new_crc = composite.value();
+
   cluster::RequestCost cost;
   cost.request_bytes = 64 * static_cast<std::int64_t>(block_ids.size());
   cost.disk_bytes = 1024;
@@ -243,11 +286,15 @@ sim::Task<void> BlobService::put_block_list(
       cfg_.write_cpu + static_cast<sim::Duration>(block_ids.size()) *
                            cfg_.block_list_per_block;
   cost.replicate = true;
+  cost.object_id = object_id(hash(container, name));
+  cost.content_crc = new_crc;
+  cost.object_bytes = total;
   co_await cluster_.execute(client, hash(container, name), cost);
 
   blob.committed = std::move(new_committed);
   blob.committed_size = total;
   blob.uncommitted.clear();
+  blob.content_crc = new_crc;
   blob.etag = next_etag();
 }
 
@@ -274,7 +321,13 @@ sim::Task<Payload> BlobService::download_block_blob(
   cost.request_bytes = 256;
   cost.response_bytes = total;
   cost.server_cpu = cfg_.read_cpu;
-  co_await cluster_.execute(client, hash(container, name), cost);
+  cost.object_id = object_id(hash(container, name));
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, hash(container, name), cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError(
+        "downloaded blob failed its Content-MD5 check");
+  }
 
   // Assemble the content: synthetic unless any block carries real bytes.
   bool any_real = false;
@@ -382,12 +435,23 @@ sim::Task<void> BlobService::put_page(netsim::Nic& client,
   }
 
   co_await blob.rt->write_stream.acquire(static_cast<double>(data.size()));
+  // Page-blob versions chain: each write folds (offset, payload checksum)
+  // into the previous version's checksum.
+  const std::uint32_t new_crc = static_cast<std::uint32_t>(
+      mix_u64(blob.content_crc,
+              mix_u64(static_cast<std::uint64_t>(offset), payload_crc(data))));
   cluster::RequestCost cost;
   cost.request_bytes = data.size();
   cost.disk_bytes = data.size();
   cost.server_cpu = cfg_.write_cpu;
   cost.replicate = true;
+  cost.object_id = object_id(hash(container, name));
+  cost.content_crc = new_crc;
+  cost.object_bytes = blob.page_extent > offset + data.size()
+                          ? blob.page_extent
+                          : offset + data.size();
   co_await cluster_.execute(client, hash(container, name), cost);
+  blob.content_crc = new_crc;
 
   // Overlap resolution: trim/split any existing ranges under [lo, hi).
   const std::int64_t lo = offset;
@@ -479,7 +543,13 @@ sim::Task<Payload> BlobService::download_page_blob(
   cost.request_bytes = 256;
   cost.response_bytes = extent;
   cost.server_cpu = cfg_.read_cpu;
-  co_await cluster_.execute(client, hash(container, name), cost);
+  cost.object_id = object_id(hash(container, name));
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, hash(container, name), cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError(
+        "downloaded page blob failed its Content-MD5 check");
+  }
   if (extent == 0) co_return Payload{};
   bool any_real = false;
   for (const auto& [off, p] : blob.pages) {
@@ -529,6 +599,7 @@ sim::Task<BlobProperties> BlobService::get_properties(
   BlobProperties props;
   props.kind = b.kind;
   props.etag = b.etag;
+  props.content_crc = b.content_crc;
   if (b.kind == BlobProperties::Kind::kBlock) {
     props.size = b.committed_size;
     props.content_length = b.committed_size;

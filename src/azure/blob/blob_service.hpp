@@ -75,6 +75,9 @@ struct BlobProperties {
   std::int64_t content_length = 0;  // pages: highest written byte
   std::string etag;
   int committed_blocks = 0;
+  /// Content checksum of the stored version (Content-MD5 analogue; CRC32C
+  /// composite over the blob's blocks/pages). Zero until the first write.
+  std::uint32_t content_crc = 0;
 };
 
 class BlobService {
@@ -182,6 +185,7 @@ class BlobService {
   struct BlockInfo {
     std::string id;
     Payload data;
+    std::uint32_t crc = 0;  // CRC32C of this block's payload
   };
 
   /// Per-blob contended runtime state (write stream, block index, replica
@@ -206,6 +210,9 @@ class BlobService {
     std::int64_t page_max_size = 0;
     std::map<std::int64_t, Payload> pages;
     std::int64_t page_extent = 0;  // highest written byte + 1
+    /// Checksum of the blob's current physical version (committed blocks,
+    /// staged blocks, written pages). Every tracked write advances it.
+    std::uint32_t content_crc = 0;
     std::unique_ptr<BlobRuntime> rt;
   };
 
@@ -228,7 +235,13 @@ class BlobService {
   /// Acquires the next replica read stream for `amount` effective bytes.
   sim::Task<int> read_stream_acquire(BlobData& blob, double amount);
 
-  /// Chunk-wise read core shared by get_block/get_page.
+  /// Per-blob integrity object id (salted so blob/queue/table objects with
+  /// colliding partition hashes stay distinct; never 0, which means
+  /// "untracked" to the cluster).
+  std::uint64_t object_id(std::uint64_t part_hash) const;
+
+  /// Chunk-wise read core shared by get_block/get_page. Throws
+  /// ChecksumMismatchError when the response payload arrived corrupt.
   sim::Task<void> chunk_read(netsim::Nic& client, BlobData& blob,
                              std::uint64_t part_hash, std::int64_t bytes,
                              sim::Duration extra_overhead);

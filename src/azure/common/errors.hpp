@@ -14,6 +14,7 @@ using cluster::StorageError;
 
 // Injected infrastructure faults (see faults/errors.hpp): transient from the
 // client's point of view, retryable per RetryPolicy's error classes.
+using cluster::ChecksumMismatchError;
 using cluster::ConnectionResetError;
 using cluster::FaultError;
 using cluster::TimeoutError;

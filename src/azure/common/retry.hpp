@@ -51,11 +51,13 @@ struct RetryPolicy {
   bool retry_server_busy = true;       // HTTP 503 throttling
   bool retry_timeouts = true;          // lost request/response
   bool retry_connection_resets = true; // server crashed mid-request
+  bool retry_checksum_mismatch = true; // payload corrupted in flight
 
   /// The paper's client policy: fixed 1 s sleep, ServerBusy only. With this
   /// preset (and no injected faults) retry timing is byte-identical to the
-  /// original benchmarks. Timeouts and resets did not exist in the paper's
-  /// model, so the preset surfaces them instead of hiding them.
+  /// original benchmarks. Timeouts, resets, and checksum mismatches did not
+  /// exist in the paper's model, so the preset surfaces them instead of
+  /// hiding them.
   static constexpr RetryPolicy paper() {
     RetryPolicy p;
     p.mode = Backoff::kFixed;
@@ -63,6 +65,7 @@ struct RetryPolicy {
     p.jitter = 0.0;
     p.retry_timeouts = false;
     p.retry_connection_resets = false;
+    p.retry_checksum_mismatch = false;
     return p;
   }
 
@@ -132,6 +135,15 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       backoff = true;
     } catch (const ConnectionResetError&) {
       if (!policy.retry_connection_resets ||
+          retries + 1 >= policy.max_attempts) {
+        throw;
+      }
+      backoff = true;
+    } catch (const ChecksumMismatchError&) {
+      // Corruption in flight: the upload was rejected before any state was
+      // touched, or the download's end-to-end checksum failed client-side.
+      // Either way the operation is safe to repeat verbatim.
+      if (!policy.retry_checksum_mismatch ||
           retries + 1 >= policy.max_attempts) {
         throw;
       }

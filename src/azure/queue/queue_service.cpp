@@ -2,10 +2,31 @@
 
 #include <algorithm>
 
+#include "azure/common/checksum.hpp"
+
 namespace azure {
 namespace lim = azure::limits;
 
+namespace {
+/// Service salt for integrity object ids.
+constexpr std::uint64_t kQueueObjectSalt = 0x0CEE'CEE0'51EE'7000ull;
+}  // namespace
+
 // --------------------------------------------------------------- helpers ----
+
+std::uint64_t QueueService::object_id(std::uint64_t part_hash) const {
+  const std::uint64_t id = mix_u64(kQueueObjectSalt, part_hash);
+  return id != 0 ? id : 1;
+}
+
+std::uint32_t QueueService::next_state_crc(const QueueData& q,
+                                           std::uint64_t oid) const noexcept {
+  // The queue's message log has no single content digest worth modelling;
+  // its version checksum is a hash of (queue identity, mutation count).
+  // Concurrent mutations racing to the same serial produce the same
+  // candidate checksum — harmless, since equal checksums compare equal.
+  return static_cast<std::uint32_t>(mix_u64(oid, q.mutation_serial + 1));
+}
 
 QueueService::QueueData& QueueService::require_queue(std::string name) {
   auto it = queues_.find(name);
@@ -113,12 +134,16 @@ sim::Task<void> QueueService::put_message(netsim::Nic& client,
   admit(q, name);
 
   const std::int64_t wire = encoded_size(body.size());
+  const std::uint64_t oid = object_id(cluster::partition_hash(name));
   cluster::RequestCost cost;
   cost.request_bytes = wire;
   cost.disk_bytes = wire;
   cost.server_cpu = cfg_.put_cpu;
   cost.replicate = true;  // inserts synchronize across the 3 replicas
+  cost.object_id = oid;
+  cost.content_crc = next_state_crc(q, oid);
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  ++q.mutation_serial;
   {
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.put_commit_time);
@@ -172,14 +197,25 @@ sim::Task<std::optional<QueueMessage>> QueueService::get_message(
   }
   estimate = nullptr;  // invalidated by the awaits below
 
+  const std::uint64_t oid = object_id(cluster::partition_hash(name));
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.response_bytes = wire;
   cost.server_cpu = cpu;
   cost.disk_bytes = probably_found ? 512 : 0;
   cost.replicate = probably_found;  // visibility state must reach all copies
-  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  cost.object_id = oid;
+  if (probably_found) cost.content_crc = next_state_crc(q, oid);
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  if (r.response_corrupted) {
+    // The message body failed its end-to-end check client-side. The claim
+    // below never happens, so the message stays hidden until its visibility
+    // timeout expires and is redelivered intact.
+    throw ChecksumMismatchError("GetMessage response failed checksum");
+  }
   if (probably_found) {
+    ++q.mutation_serial;
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.get_commit_time);
   }
@@ -228,7 +264,12 @@ sim::Task<std::optional<QueueMessage>> QueueService::peek_message(
   cost.response_bytes = wire;
   cost.server_cpu = cfg_.peek_cpu;
   cost.replicate = false;  // pure read: no server-side synchronization
-  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  cost.object_id = object_id(cluster::partition_hash(name));
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError("PeekMessage response failed checksum");
+  }
 
   // Re-pick after the awaits: the deque may have changed meanwhile.
   expire(q);
@@ -251,12 +292,16 @@ sim::Task<void> QueueService::delete_message(netsim::Nic& client,
   QueueData& q = require_queue(name);
   admit(q, name);
 
+  const std::uint64_t oid = object_id(cluster::partition_hash(name));
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.server_cpu = cfg_.delete_cpu;
   cost.disk_bytes = 512;
   cost.replicate = true;
+  cost.object_id = oid;
+  cost.content_crc = next_state_crc(q, oid);
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  ++q.mutation_serial;
   {
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.delete_commit_time);
@@ -287,12 +332,16 @@ sim::Task<QueueMessage> QueueService::update_message(
 
   const std::int64_t wire =
       new_body ? encoded_size(new_body->size()) : 256;
+  const std::uint64_t oid = object_id(cluster::partition_hash(name));
   cluster::RequestCost cost;
   cost.request_bytes = wire;
   cost.disk_bytes = new_body ? wire : 512;
   cost.server_cpu = cfg_.put_cpu;
   cost.replicate = true;  // visibility/content change reaches all copies
+  cost.object_id = oid;
+  cost.content_crc = next_state_crc(q, oid);
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  ++q.mutation_serial;
   {
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.put_commit_time);
@@ -329,7 +378,12 @@ sim::Task<std::int64_t> QueueService::get_message_count(
   cost.request_bytes = 256;
   cost.response_bytes = 256;
   cost.server_cpu = sim::micros(500);
-  co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  cost.object_id = object_id(cluster::partition_hash(name));
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError("GetMessageCount response failed checksum");
+  }
   expire(q);
   co_return static_cast<std::int64_t>(q.messages.size());
 }

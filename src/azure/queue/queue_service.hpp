@@ -157,6 +157,9 @@ class QueueService {
     std::deque<StoredMessage> messages;
     sim::WindowCounter throttle;
     sim::Resource commit_lock;  // serialized message-log appends
+    /// Count of acknowledged mutations — versions the queue's integrity
+    /// checksum (one queue = one partition = one tracked object).
+    std::uint64_t mutation_serial = 0;
   };
 
   QueueData& require_queue(std::string name);
@@ -172,6 +175,12 @@ class QueueService {
 
   sim::Task<void> metadata_op(netsim::Nic& client, std::uint64_t part_hash,
                               bool write);
+
+  /// Per-queue integrity object id (salted partition hash; never 0).
+  std::uint64_t object_id(std::uint64_t part_hash) const;
+  /// Checksum of the queue's state after its next acknowledged mutation.
+  std::uint32_t next_state_crc(const QueueData& q,
+                               std::uint64_t oid) const noexcept;
 
   cluster::StorageCluster& cluster_;
   QueueServiceConfig cfg_;

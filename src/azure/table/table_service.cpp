@@ -1,13 +1,19 @@
 #include "azure/table/table_service.hpp"
 
-
+#include <bit>
 #include <set>
+
+#include "azure/common/checksum.hpp"
+
 namespace azure {
 namespace lim = azure::limits;
 
 // --------------------------------------------------------------- entity ----
 
 namespace {
+
+/// Service salt for integrity object ids.
+constexpr std::uint64_t kTableObjectSalt = 0x7AB1'E7AB'1E7A'B000ull;
 
 std::int64_t property_size(const PropertyValue& v) {
   struct Sizer {
@@ -20,6 +26,40 @@ std::int64_t property_size(const PropertyValue& v) {
     std::int64_t operator()(const Payload& p) const { return p.size(); }
   };
   return std::visit(Sizer{}, v);
+}
+
+/// End-to-end checksum of an entity's content: keys plus every property
+/// name and value (system properties — ETag, Timestamp — excluded, as they
+/// are assigned server-side after the checksum is validated).
+std::uint32_t entity_crc(const TableEntity& e) {
+  Crc32c crc;
+  crc.update(e.partition_key);
+  crc.update(e.row_key);
+  struct Hasher {
+    Crc32c& crc;
+    void operator()(const std::string& s) const { crc.update(s); }
+    void operator()(std::int64_t v) const {
+      crc.update_u64(static_cast<std::uint64_t>(v));
+    }
+    void operator()(double v) const {
+      crc.update_u64(std::bit_cast<std::uint64_t>(v));
+    }
+    void operator()(bool v) const { crc.update_u64(v ? 1 : 0); }
+    void operator()(const Payload& p) const { crc.update_u64(payload_crc(p)); }
+  };
+  for (const auto& [name, value] : e.properties) {
+    crc.update(name);
+    std::visit(Hasher{crc}, value);
+  }
+  return crc.value();
+}
+
+/// Per-entity integrity object id (never 0).
+std::uint64_t entity_object_id(std::uint64_t part_hash,
+                               const std::string& row_key) {
+  const std::uint64_t id = mix_u64(
+      kTableObjectSalt, mix_u64(part_hash, cluster::partition_hash(row_key)));
+  return id != 0 ? id : 1;
 }
 
 }  // namespace
@@ -142,6 +182,9 @@ sim::Task<void> TableService::insert(netsim::Nic& client,
   cost.disk_bytes = wire;
   cost.server_cpu = cfg_.insert_cpu;
   cost.replicate = true;
+  cost.object_id =
+      entity_object_id(hash(table, entity.partition_key), entity.row_key);
+  cost.content_crc = entity_crc(entity);
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   Key key{entity.partition_key, entity.row_key};
@@ -169,7 +212,12 @@ sim::Task<TableEntity> TableService::query(netsim::Nic& client,
   cost.request_bytes = 512;
   cost.response_bytes = wire;
   cost.server_cpu = cfg_.query_cpu;
-  co_await cluster_.execute(client, hash(table, partition_key), cost);
+  cost.object_id = entity_object_id(hash(table, partition_key), row_key);
+  const cluster::ExecResult r =
+      co_await cluster_.execute(client, hash(table, partition_key), cost);
+  if (r.response_corrupted) {
+    throw ChecksumMismatchError("queried entity failed its checksum");
+  }
 
   if (it == t.entities.end()) {
     throw NotFoundError("entity not found: " + partition_key + "/" + row_key);
@@ -190,6 +238,10 @@ sim::Task<std::vector<TableEntity>> TableService::query_partition(
     out.push_back(it->second);
     wire += it->second.size() + 64;
   }
+  // Partition scans and entity group transactions span many entities, each
+  // its own integrity object — they stay untracked (no single object id
+  // describes them). Their per-entity writes/reads are covered by the
+  // point-operation paths.
   cluster::RequestCost cost;
   cost.request_bytes = 512;
   cost.response_bytes = wire;
@@ -214,6 +266,9 @@ sim::Task<void> TableService::update(netsim::Nic& client,
   cost.disk_bytes = wire;
   cost.server_cpu = cfg_.update_cpu;  // ETag check + read-modify-write
   cost.replicate = true;
+  cost.object_id =
+      entity_object_id(hash(table, entity.partition_key), entity.row_key);
+  cost.content_crc = entity_crc(entity);
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
@@ -243,6 +298,9 @@ sim::Task<void> TableService::insert_or_replace(netsim::Nic& client,
   cost.disk_bytes = wire;
   cost.server_cpu = cfg_.update_cpu;
   cost.replicate = true;
+  cost.object_id =
+      entity_object_id(hash(table, entity.partition_key), entity.row_key);
+  cost.content_crc = entity_crc(entity);
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   entity.etag = next_etag();
@@ -261,11 +319,25 @@ sim::Task<void> TableService::merge(netsim::Nic& client,
 
   const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
   co_await journal_write(table, entity.partition_key, wire);
+  // The merged result's checksum versions the entity; compute the candidate
+  // from the current state (precondition checks re-run after the awaits).
+  std::uint32_t merged_crc = entity_crc(entity);
+  if (auto pre = t.entities.find(Key{entity.partition_key, entity.row_key});
+      pre != t.entities.end()) {
+    TableEntity merged = pre->second;
+    for (const auto& [name, value] : entity.properties) {
+      merged.properties[name] = value;
+    }
+    merged_crc = entity_crc(merged);
+  }
   cluster::RequestCost cost;
   cost.request_bytes = wire;
   cost.disk_bytes = wire;
   cost.server_cpu = cfg_.update_cpu;
   cost.replicate = true;
+  cost.object_id =
+      entity_object_id(hash(table, entity.partition_key), entity.row_key);
+  cost.content_crc = merged_crc;
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
@@ -299,6 +371,8 @@ sim::Task<void> TableService::erase(netsim::Nic& client,
   cost.disk_bytes = 512;
   cost.server_cpu = cfg_.delete_cpu;
   cost.replicate = true;
+  cost.object_id = entity_object_id(hash(table, partition_key), row_key);
+  cost.content_crc = 0;  // tombstone version
   co_await cluster_.execute(client, hash(table, partition_key), cost);
 
   auto it = t.entities.find(Key{partition_key, row_key});

@@ -62,6 +62,14 @@ struct ClusterConfig {
   /// stream append + ack), on top of moving the payload to the replica.
   sim::Duration replica_commit_latency = sim::millis(2);
 
+  // ----------------------------------------------------------- integrity ----
+  /// Pause between a partition server's restart and the anti-entropy scrub
+  /// of its replicas (lets the restart storm settle first).
+  sim::Duration scrub_delay = sim::millis(100);
+
+  /// Per-object checksum verification time paid by a scrub pass.
+  sim::Duration scrub_check_time = sim::micros(20);
+
   // ------------------------------------------------ scalability targets ----
   /// "Windows Azure storage services can handle up to 5,000 transactions
   /// (entities/messages/blobs) per second" per account.

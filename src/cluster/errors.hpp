@@ -11,6 +11,7 @@ namespace cluster {
 // Injected infrastructure faults (lost messages, crashed servers) surface
 // through the same surface as backend errors; see faults/errors.hpp for why
 // they form a separate hierarchy from StorageError.
+using faults::ChecksumMismatchError;
 using faults::ConnectionResetError;
 using faults::FaultError;
 using faults::TimeoutError;

@@ -42,8 +42,12 @@ class PartitionServer {
     up_ = false;
     ++crashes_;
   }
-  void restart() noexcept { up_ = true; }
+  void restart() noexcept {
+    up_ = true;
+    ++restarts_;
+  }
   std::int64_t crashes() const noexcept { return crashes_; }
+  std::int64_t restarts() const noexcept { return restarts_; }
 
   /// Occupies one executor, then pays fixed processing plus extra CPU time
   /// plus disk occupancy for `disk_bytes`.
@@ -81,6 +85,7 @@ class PartitionServer {
   netsim::Nic nic_;
   bool up_ = true;
   std::int64_t crashes_ = 0;
+  std::int64_t restarts_ = 0;
   std::int64_t requests_ = 0;
   std::int64_t replica_commits_ = 0;
   std::int64_t disk_bytes_ = 0;

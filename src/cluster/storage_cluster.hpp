@@ -11,6 +11,7 @@
 #include "cluster/config.hpp"
 #include "cluster/errors.hpp"
 #include "cluster/partition_server.hpp"
+#include "cluster/replica_store.hpp"
 #include "faults/fault_plan.hpp"
 #include "netsim/network.hpp"
 #include "netsim/nic.hpp"
@@ -37,6 +38,29 @@ struct RequestCost {
   bool replicate = false;
   /// Whether the request counts against the account's transactions/s target.
   bool counts_as_transaction = true;
+
+  // ----------------------------------------------------------- integrity ----
+  /// Identity of the stored object this request reads or writes, for
+  /// end-to-end integrity tracking (0 = untracked: metadata and other
+  /// requests without a checksummed payload). Only consulted under an armed
+  /// fault plan.
+  std::uint64_t object_id = 0;
+  /// CRC32C of the object's content *after* this mutation (writes only).
+  std::uint32_t content_crc = 0;
+  /// Stored size of the object after this mutation — what a replica repair
+  /// has to copy. Defaults to disk_bytes when 0.
+  std::int64_t object_bytes = 0;
+};
+
+/// What execute() tells the service layer beyond "it completed".
+struct ExecResult {
+  /// The response payload was corrupted in flight. Only integrity-tracked
+  /// requests can observe this: the service's end-to-end checksum fails
+  /// client-side and the caller must surface ChecksumMismatchError instead
+  /// of handing corrupt bytes to the application.
+  bool response_corrupted = false;
+  /// Partition server that served the request (after any failover).
+  int served_by = -1;
 };
 
 class StorageCluster {
@@ -47,7 +71,8 @@ class StorageCluster {
         network_(sim),
         account_tx_(sim, cfg.account_transactions_per_sec),
         account_ingress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024),
-        account_egress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024) {
+        account_egress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024),
+        store_(cfg.replicas, cfg.partition_servers) {
     assert(cfg.partition_servers >= cfg.replicas);
     servers_.reserve(static_cast<std::size_t>(cfg.partition_servers));
     for (int i = 0; i < cfg.partition_servers; ++i) {
@@ -61,17 +86,31 @@ class StorageCluster {
 
   /// Arms fault injection: link faults on the network, plus — when the plan
   /// schedules server crashes — a driver process that crashes and restarts
-  /// partition servers per the plan's precomputed schedule. Requests routed
-  /// to a down primary fail over to the next healthy server; a crash while
-  /// a request is in flight resets the client's connection.
+  /// partition servers per the plan's precomputed schedule, and one
+  /// anti-entropy scrubber per partition server that re-verifies and repairs
+  /// that server's replicas after each restart. Requests routed to a down
+  /// primary fail over to the next healthy server; a crash while a request
+  /// is in flight resets the client's connection.
   void enable_faults(faults::FaultPlan& plan) {
     faults_ = &plan;
     network_.set_fault_plan(&plan);
     if (plan.config().server_faults_enabled()) {
+      scrub_gates_.reserve(servers_.size());
+      for (std::size_t i = 0; i < servers_.size(); ++i) {
+        scrub_gates_.push_back(std::make_unique<sim::Gate>(sim_));
+      }
+      for (int i = 0; i < static_cast<int>(servers_.size()); ++i) {
+        sim_.spawn(scrubber(i), "scrubber");
+      }
       sim_.spawn(crash_driver(), "fault-crash-driver");
     }
   }
   faults::FaultPlan* fault_plan() const noexcept { return faults_; }
+
+  /// The integrity ledger (which generation/checksum each replica of each
+  /// tracked object holds). Mutable access so tests can stage damage.
+  ReplicaStore& replica_store() noexcept { return store_; }
+  const ReplicaStore& replica_store() const noexcept { return store_; }
 
   int server_index(std::uint64_t partition_hash) const noexcept {
     return static_cast<int>(partition_hash %
@@ -85,9 +124,14 @@ class StorageCluster {
   /// Executes one request against the partition owning `partition_hash` on
   /// behalf of the client endpoint `client`. Throws ServerBusyError when the
   /// account transaction target is exceeded (before any time is spent, as a
-  /// front-end rejection).
-  sim::Task<void> execute(netsim::Nic& client, std::uint64_t partition_hash,
-                          RequestCost cost) {
+  /// front-end rejection). For integrity-tracked requests (cost.object_id
+  /// != 0 under an armed fault plan) the cluster additionally verifies the
+  /// request payload's checksum server-side, verifies the serving replica on
+  /// reads (failing over and read-repairing on mismatch), and reports
+  /// response-payload corruption to the caller via ExecResult.
+  sim::Task<ExecResult> execute(netsim::Nic& client,
+                                std::uint64_t partition_hash,
+                                RequestCost cost) {
     if (cost.counts_as_transaction) {
       while (!account_tx_.try_consume()) {
         if (cfg_.throttle_mode == ThrottleMode::kReject) {
@@ -102,7 +146,8 @@ class StorageCluster {
     }
     ++total_requests_;
 
-    PartitionServer* primary = &server(server_index(partition_hash));
+    const int home = server_index(partition_hash);
+    PartitionServer* primary = &server(home);
     if (faults_ != nullptr && !primary->up()) {
       // The partition map reassigns the range to the next healthy server;
       // the client pays the re-route before reaching it.
@@ -110,21 +155,75 @@ class StorageCluster {
       co_await sim_.delay(faults_->config().failover_latency);
     }
 
+    // Integrity bookkeeping is engaged only for tracked requests under an
+    // armed fault plan; everything below the `tracked` checks is otherwise
+    // byte-identical to the fault-free path.
+    const bool tracked = faults_ != nullptr && cost.object_id != 0;
+    const bool tracked_write = tracked && cost.replicate;
+    // An object's home is always hash-derived — failover moves the serving
+    // role, never the stored replicas.
+    ReplicaStore::Entry* entry =
+        tracked ? (tracked_write ? &store_.open(cost.object_id, home)
+                                 : store_.find(cost.object_id))
+                : nullptr;
+
     // Request path: client uplink -> account ingress shaping -> front-end ->
     // primary NIC.
     if (cost.request_bytes > 0) {
       co_await account_ingress_.acquire(
           static_cast<double>(cost.request_bytes));
     }
-    co_await network_.transfer(client, primary->nic(), cost.request_bytes);
+    const bool request_corrupted = co_await network_.transfer_checked(
+        client, primary->nic(), cost.request_bytes);
     co_await sim_.delay(cfg_.frontend_latency);
+
+    // The front-end validates the upload's checksum before any state is
+    // touched: a payload damaged in flight is rejected outright (HTTP 400
+    // Md5Mismatch in real Azure), never written to disk or replicated.
+    if (request_corrupted && tracked_write) {
+      ++request_checksum_rejects_;
+      faults_->record(faults::FaultKind::kChecksumMismatch, primary->index());
+      throw ChecksumMismatchError(
+          "request payload failed checksum validation at partition server " +
+          std::to_string(primary->index()));
+    }
 
     // Server-side processing (executor + CPU + disk).
     co_await primary->process(cost.server_cpu, cost.disk_bytes);
 
+    // Read-path replica verification: the serving server re-checksums its
+    // local copy. On mismatch (torn write, stale or divergent generation)
+    // it fails over to the committed content — modelled as the partition
+    // log replay cost — and queues background read-repair of every bad
+    // copy, so one detected mismatch heals the object for later readers.
+    if (tracked && !tracked_write && entry != nullptr &&
+        entry->committed_gen > 0) {
+      int serve = store_.replica_on(*entry, primary->index());
+      if (serve < 0) serve = 0;  // failed-over off the replica set
+      if (!entry->replica_good(serve)) {
+        const auto& bad = entry->replicas[static_cast<std::size_t>(serve)];
+        faults_->record(bad.torn ? faults::FaultKind::kChecksumMismatch
+                                 : faults::FaultKind::kReplicaDivergence,
+                        store_.server_of(*entry, serve));
+        ++read_mismatches_;
+        co_await sim_.delay(faults_->config().failover_latency);
+        for (int r = 0; r < store_.replicas_per_object(); ++r) {
+          if (!entry->replica_good(r)) {
+            sim_.spawn(repair_replica(*entry, r, /*scrub=*/false),
+                       "read-repair");
+          }
+        }
+      }
+    }
+
     // Synchronous replication: payload flows from the primary to each of the
     // other replicas in parallel; the request acks when the slowest commits.
-    if (cost.replicate && cfg_.replicas > 1) {
+    std::uint64_t attempt_gen = 0;
+    if (tracked_write && entry != nullptr) {
+      entry->next_gen = std::max(entry->next_gen, entry->committed_gen) + 1;
+      attempt_gen = entry->next_gen;
+      co_await replicate_tracked(*primary, *entry, cost, attempt_gen);
+    } else if (cost.replicate && cfg_.replicas > 1) {
       co_await replicate(*primary, cost.disk_bytes);
     }
 
@@ -133,9 +232,48 @@ class StorageCluster {
     // client cannot know whether the mutation was applied (here it was not —
     // services apply state only after execute() returns).
     if (faults_ != nullptr && !primary->up()) {
+      if (tracked_write && entry != nullptr) {
+        // The local append raced the crash: the primary's own copy may be
+        // torn, and the fan-out copies hold an unacknowledged generation.
+        // Neither is committed — the scrubber converges them back.
+        const int lr = store_.replica_on(*entry, primary->index());
+        if (lr >= 0) {
+          auto& rep = entry->replicas[static_cast<std::size_t>(lr)];
+          rep.gen = attempt_gen;
+          if (faults_->draw_torn_write()) {
+            rep.crc = cost.content_crc ^ 0x5A5A5A5Au;
+            rep.torn = true;
+            faults_->record(faults::FaultKind::kTornWrite, primary->index());
+          } else {
+            rep.crc = cost.content_crc;
+            rep.torn = false;
+          }
+        }
+      }
       throw ConnectionResetError("partition server " +
                                  std::to_string(primary->index()) +
                                  " crashed while serving the request");
+    }
+
+    // The write is now acknowledged: advance the committed generation and
+    // mark the primary's local copy clean. A concurrent later write may
+    // already have committed a higher generation — never regress it.
+    if (tracked_write && entry != nullptr) {
+      const int lr = store_.replica_on(*entry, primary->index());
+      if (lr >= 0) {
+        auto& rep = entry->replicas[static_cast<std::size_t>(lr)];
+        if (rep.gen <= attempt_gen) {
+          rep.gen = attempt_gen;
+          rep.crc = cost.content_crc;
+          rep.torn = false;
+        }
+      }
+      if (attempt_gen > entry->committed_gen) {
+        entry->committed_gen = attempt_gen;
+        entry->committed_crc = cost.content_crc;
+        entry->bytes =
+            cost.object_bytes > 0 ? cost.object_bytes : cost.disk_bytes;
+      }
     }
 
     // Response path mirrors the request path.
@@ -143,13 +281,55 @@ class StorageCluster {
       co_await account_egress_.acquire(
           static_cast<double>(cost.response_bytes));
     }
-    co_await network_.transfer(primary->nic(), client, cost.response_bytes);
+    const bool response_corrupted = co_await network_.transfer_checked(
+        primary->nic(), client, cost.response_bytes);
+
+    ExecResult result;
+    result.served_by = primary->index();
+    if (response_corrupted && tracked) {
+      // The server sent good bytes; the wire damaged them. Only the client
+      // can detect this (end-to-end checksum) — execute() reports it and the
+      // service layer throws on the client's behalf.
+      ++response_corruptions_;
+      faults_->record(faults::FaultKind::kChecksumMismatch, primary->index());
+      result.response_corrupted = true;
+    }
+    co_return result;
+  }
+
+  /// One full anti-entropy pass over every partition server, for tests and
+  /// benchmarks that want to force convergence at a known point in time.
+  /// No-op when faults are not armed.
+  sim::Task<void> scrub_all() {
+    if (faults_ == nullptr) co_return;
+    for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
+      co_await scrub_server(s);
+    }
   }
 
   std::int64_t total_requests() const noexcept { return total_requests_; }
   std::int64_t throttle_rejections() const noexcept {
     return account_tx_.rejected();
   }
+
+  // Integrity counters (all zero when faults are off).
+  /// Uploads rejected at the front-end because the request payload arrived
+  /// corrupt (the client retries; no state was touched).
+  std::int64_t request_checksum_rejects() const noexcept {
+    return request_checksum_rejects_;
+  }
+  /// Responses whose payload was corrupted in flight (detected client-side).
+  std::int64_t response_corruptions() const noexcept {
+    return response_corruptions_;
+  }
+  /// Read-path replica verifications that failed and triggered failover.
+  std::int64_t read_mismatches() const noexcept { return read_mismatches_; }
+  /// Replica copies healed by read-triggered repair.
+  std::int64_t read_repairs() const noexcept { return read_repairs_; }
+  /// Replica copies healed by the background anti-entropy scrubber.
+  std::int64_t scrub_repairs() const noexcept { return scrub_repairs_; }
+  /// Scrub passes started (per server, post-restart plus forced).
+  std::int64_t scrub_passes() const noexcept { return scrub_passes_; }
 
   /// Per-server load snapshot, for capacity analysis and tests.
   struct ServerLoad {
@@ -221,6 +401,119 @@ class StorageCluster {
     wg.done();
   }
 
+  /// Tracked analogue of replicate(): fans the payload out to the object's
+  /// replica set (same ring order, so the event sequence is identical to
+  /// replicate() when the primary has not failed over), recording which
+  /// generation each copy landed — including torn copies when a replica
+  /// crashes mid-commit.
+  sim::Task<void> replicate_tracked(PartitionServer& primary,
+                                    ReplicaStore::Entry& entry,
+                                    const RequestCost& cost,
+                                    std::uint64_t attempt_gen) {
+    sim::WaitGroup wg(sim_);
+    for (int r = 0; r < store_.replicas_per_object(); ++r) {
+      if (store_.server_of(entry, r) == primary.index()) continue;
+      wg.add();
+      sim_.spawn(replica_send_tracked(primary, entry, r, cost.disk_bytes,
+                                      attempt_gen, cost.content_crc, wg));
+    }
+    co_await wg.wait();
+  }
+
+  sim::Task<void> replica_send_tracked(PartitionServer& primary,
+                                       ReplicaStore::Entry& entry, int r,
+                                       std::int64_t bytes,
+                                       std::uint64_t attempt_gen,
+                                       std::uint32_t crc, sim::WaitGroup& wg) {
+    PartitionServer& target = server(store_.server_of(entry, r));
+    if (!target.up()) {
+      // Stream-layer re-route (see replica_send); this copy stays on its old
+      // generation — stale until repaired.
+      co_await sim_.delay(cfg_.replica_commit_latency +
+                          faults_->config().failover_latency);
+      wg.done();
+      co_return;
+    }
+    if (bytes > 0) co_await primary.nic().send(bytes);
+    co_await sim_.delay(network_.config().propagation);
+    co_await target.replica_commit(bytes);
+    auto& rep = entry.replicas[static_cast<std::size_t>(r)];
+    if (rep.gen > attempt_gen) {
+      // A concurrent later write already landed here; don't regress.
+      wg.done();
+      co_return;
+    }
+    rep.gen = attempt_gen;
+    if (!target.up() && faults_->draw_torn_write()) {
+      // Crash mid-append: the extent holds a partial record whose checksum
+      // cannot validate.
+      rep.crc = crc ^ 0x5A5A5A5Au;
+      rep.torn = true;
+      faults_->record(faults::FaultKind::kTornWrite, target.index());
+    } else {
+      rep.crc = crc;
+      rep.torn = false;
+    }
+    wg.done();
+  }
+
+  /// Copies the committed content back onto replica `r` of `entry`. The
+  /// source is always the committed (acknowledged) version — a repair never
+  /// propagates bad bytes, and a crash mid-repair leaves the target no worse
+  /// than before (the copy simply stays bad for the next pass).
+  sim::Task<void> repair_replica(ReplicaStore::Entry& entry, int r,
+                                 bool scrub) {
+    auto& rep = entry.replicas[static_cast<std::size_t>(r)];
+    if (rep.repairing || entry.replica_good(r)) co_return;
+    PartitionServer& target = server(store_.server_of(entry, r));
+    if (!target.up()) co_return;
+    rep.repairing = true;
+    co_await target.replica_commit(entry.bytes);
+    rep.repairing = false;
+    if (!target.up()) co_return;  // crashed mid-repair; copy stays bad
+    if (entry.replica_good(r)) co_return;  // a concurrent write converged it
+    rep.gen = entry.committed_gen;
+    rep.crc = entry.committed_crc;
+    rep.torn = false;
+    if (scrub) {
+      ++scrub_repairs_;
+      faults_->record(faults::FaultKind::kScrubRepair, target.index());
+    } else {
+      ++read_repairs_;
+      faults_->record(faults::FaultKind::kReadRepair, target.index());
+    }
+  }
+
+  /// Per-server anti-entropy loop: parked on a gate the crash driver sets
+  /// after each restart of this server, then (after a settling delay)
+  /// verifies every replica the server hosts and repairs the bad ones.
+  sim::Task<void> scrubber(int s) {
+    sim::Gate& gate = *scrub_gates_[static_cast<std::size_t>(s)];
+    for (;;) {
+      co_await gate.wait();
+      gate.reset();
+      if (scrub_shutdown_) co_return;
+      co_await sim_.delay(cfg_.scrub_delay);
+      co_await scrub_server(s);
+    }
+  }
+
+  /// One verification pass over every replica hosted on server `s`.
+  sim::Task<void> scrub_server(int s) {
+    ++scrub_passes_;
+    for (auto& kv : store_.entries()) {
+      if (!server(s).up()) co_return;  // server died mid-scrub
+      ReplicaStore::Entry& entry = kv.second;
+      const int r = store_.replica_on(entry, s);
+      if (r < 0) continue;
+      co_await sim_.delay(cfg_.scrub_check_time);
+      if (!entry.replica_good(r) &&
+          !entry.replicas[static_cast<std::size_t>(r)].repairing) {
+        co_await repair_replica(entry, r, /*scrub=*/true);
+      }
+    }
+  }
+
   /// Next healthy server after `down` in ring order.
   PartitionServer& failover_target(PartitionServer& down) {
     const int n = static_cast<int>(servers_.size());
@@ -243,7 +536,16 @@ class StorageCluster {
       co_await sim_.delay(faults_->config().server_downtime);
       victim.restart();
       faults_->record(faults::FaultKind::kServerRestart, victim.index());
+      // Wake the restarted server's scrubber: any replica it hosts may have
+      // missed commits (stale) or been torn by the crash.
+      scrub_gates_[static_cast<std::size_t>(victim.index())]->set();
     }
+    // Schedule exhausted: release every parked scrubber so no coroutine is
+    // left suspended on a gate when the simulation drains (Gate asserts it
+    // has no waiters at destruction, and a forever-suspended frame leaks
+    // under ASan).
+    scrub_shutdown_ = true;
+    for (auto& gate : scrub_gates_) gate->set();
   }
 
   sim::Simulation& sim_;
@@ -255,6 +557,17 @@ class StorageCluster {
   sim::FlowLimiter account_egress_;
   std::vector<std::unique_ptr<PartitionServer>> servers_;
   std::int64_t total_requests_ = 0;
+
+  // Integrity state (quiescent unless a fault plan is armed).
+  ReplicaStore store_;
+  std::vector<std::unique_ptr<sim::Gate>> scrub_gates_;
+  bool scrub_shutdown_ = false;
+  std::int64_t request_checksum_rejects_ = 0;
+  std::int64_t response_corruptions_ = 0;
+  std::int64_t read_mismatches_ = 0;
+  std::int64_t read_repairs_ = 0;
+  std::int64_t scrub_repairs_ = 0;
+  std::int64_t scrub_passes_ = 0;
 };
 
 }  // namespace cluster

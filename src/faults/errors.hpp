@@ -34,4 +34,14 @@ class ConnectionResetError : public FaultError {
   explicit ConnectionResetError(const std::string& what) : FaultError(what) {}
 };
 
+/// An end-to-end checksum did not validate. On a write the server rejected
+/// the corrupt request body before applying anything (Content-MD5 check,
+/// HTTP 400 in real Azure); on a read the client rejected the corrupt
+/// response. Either way the data on the wire was damaged, not the stored
+/// copy — retrying (against another replica) is safe and expected.
+class ChecksumMismatchError : public FaultError {
+ public:
+  explicit ChecksumMismatchError(const std::string& what) : FaultError(what) {}
+};
+
 }  // namespace faults

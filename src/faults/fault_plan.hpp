@@ -39,6 +39,11 @@ struct FaultConfig {
   double duplicate_probability = 0;
   /// Probability of a latency spike on a transfer's propagation path.
   double latency_spike_probability = 0;
+  /// Probability that a transfer's payload arrives with flipped bits. The
+  /// transfer completes with normal timing; whether the damage is *detected*
+  /// depends on the receiving layer's checksums (the cluster verifies
+  /// integrity-tracked payloads, see cluster/replica_store.hpp).
+  double corruption_probability = 0;
   /// Mean of the (exponential) latency-spike duration.
   sim::Duration latency_spike_mean = sim::millis(20);
   /// How long a client waits before declaring a lost message timed out.
@@ -55,10 +60,15 @@ struct FaultConfig {
   /// Extra latency a request pays when its partition is re-routed to a
   /// healthy server because the primary is down.
   sim::Duration failover_latency = sim::millis(20);
+  /// Probability that a replica write interrupted by a crash lands *torn*
+  /// (partially written, checksum invalid) instead of not at all. Only
+  /// consulted when a crash actually interrupts a commit, from its own
+  /// forked RNG stream.
+  double torn_write_probability = 0.75;
 
   bool link_faults_enabled() const noexcept {
     return drop_probability > 0 || duplicate_probability > 0 ||
-           latency_spike_probability > 0;
+           latency_spike_probability > 0 || corruption_probability > 0;
   }
   bool server_faults_enabled() const noexcept { return server_crashes > 0; }
   bool enabled() const noexcept {
@@ -67,11 +77,28 @@ struct FaultConfig {
 };
 
 enum class FaultKind : std::uint8_t {
+  // ------------------------------------------------------------ injections --
   kDrop,
   kDuplicate,
   kLatencySpike,
   kServerCrash,
   kServerRestart,
+  /// A transfer's payload was corrupted in flight.
+  kBitFlip,
+  /// A crash interrupted a replica commit mid-write, leaving a partial
+  /// (checksum-invalid) copy on that replica.
+  kTornWrite,
+  // ------------------------------------------- detections and repairs ------
+  /// A checksum verification caught corrupt data (on the wire or on a torn
+  /// replica) before it could reach a client.
+  kChecksumMismatch,
+  /// A replica was found holding a different generation than the committed
+  /// one (a write that died before acknowledging, or a missed commit).
+  kReplicaDivergence,
+  /// A bad replica was re-synced inline on the read path.
+  kReadRepair,
+  /// A bad replica was re-synced by the background anti-entropy scrubber.
+  kScrubRepair,
 };
 
 /// One injected fault, as recorded in the plan's log. The log is part of
@@ -80,13 +107,19 @@ struct FaultRecord {
   sim::TimePoint at = 0;
   FaultKind kind{};
   /// Link faults: payload bytes of the affected transfer.
-  /// Server faults: index of the crashed/restarted server.
+  /// Server faults / integrity events: index of the affected server.
   std::int64_t detail = 0;
   bool operator==(const FaultRecord&) const = default;
 };
 
 /// Outcome of one link-fault consultation.
-enum class LinkFault : std::uint8_t { kNone, kDrop, kDuplicate, kLatencySpike };
+enum class LinkFault : std::uint8_t {
+  kNone,
+  kDrop,
+  kDuplicate,
+  kLatencySpike,
+  kBitFlip,
+};
 
 class FaultPlan {
  public:
@@ -103,6 +136,10 @@ class FaultPlan {
       ev.victim_raw = crash_rng.next_u64();
       crash_schedule_.push_back(ev);
     }
+    // A third independent stream decides whether a crash-interrupted commit
+    // lands torn. Forked here (construction time) so the number of link
+    // draws a workload makes cannot perturb torn decisions, and vice versa.
+    torn_rng_ = link_rng_.fork();
   }
 
   FaultPlan(const FaultPlan&) = delete;
@@ -112,23 +149,33 @@ class FaultPlan {
   bool enabled() const noexcept { return cfg_.enabled(); }
 
   /// Consulted once per network transfer. Draws exactly one uniform value
-  /// (the three probabilities partition [0, 1)); non-kNone outcomes are
-  /// appended to the log.
+  /// (the four probabilities partition [0, 1)); non-kNone outcomes are
+  /// appended to the log. A plan with corruption_probability == 0 maps the
+  /// same draws to the same outcomes as a pre-corruption plan.
   LinkFault draw_link_fault(std::int64_t bytes) {
     if (!cfg_.link_faults_enabled()) return LinkFault::kNone;
     const double u = link_rng_.next_double();
-    if (u < cfg_.drop_probability) {
+    double edge = cfg_.drop_probability;
+    if (u < edge) {
       record(FaultKind::kDrop, bytes);
       return LinkFault::kDrop;
     }
-    if (u < cfg_.drop_probability + cfg_.duplicate_probability) {
+    edge += cfg_.duplicate_probability;
+    if (u < edge) {
       record(FaultKind::kDuplicate, bytes);
       return LinkFault::kDuplicate;
     }
-    if (u < cfg_.drop_probability + cfg_.duplicate_probability +
-                cfg_.latency_spike_probability) {
+    edge += cfg_.latency_spike_probability;
+    if (u < edge) {
       record(FaultKind::kLatencySpike, bytes);
       return LinkFault::kLatencySpike;
+    }
+    edge += cfg_.corruption_probability;
+    if (u < edge) {
+      // Flipping bits in a zero-byte control hop has nothing to damage.
+      if (bytes <= 0) return LinkFault::kNone;
+      record(FaultKind::kBitFlip, bytes);
+      return LinkFault::kBitFlip;
     }
     return LinkFault::kNone;
   }
@@ -139,6 +186,13 @@ class FaultPlan {
     const auto d = static_cast<sim::Duration>(link_rng_.exponential(
         static_cast<double>(cfg_.latency_spike_mean)));
     return d > 0 ? d : sim::kNanosecond;
+  }
+
+  /// Whether a commit that a crash just interrupted lands torn (partially
+  /// written) rather than not at all. Consumes one draw from the dedicated
+  /// torn stream; call only when a crash actually interrupted a commit.
+  bool draw_torn_write() {
+    return torn_rng_.next_double() < cfg_.torn_write_probability;
   }
 
   /// The precomputed crash schedule, executed by the cluster's crash driver.
@@ -169,6 +223,7 @@ class FaultPlan {
   sim::Simulation* sim_;
   FaultConfig cfg_;
   sim::Random link_rng_;
+  sim::Random torn_rng_;
   std::vector<CrashEvent> crash_schedule_;
   std::vector<FaultRecord> log_;
 };

@@ -53,6 +53,13 @@ struct BagOfTasksConfig {
   /// timeout are not re-delivered to another worker. Set false to get the
   /// bare 2010-era behaviour (and duplicate execution of long tasks).
   bool renew_task_leases = true;
+  /// Bounded redelivery: a task delivered more than this many times without
+  /// being completed is a *poison task* (its handler keeps crashing, or its
+  /// payload keeps failing resolution). Rather than cycling through workers
+  /// forever, it is moved to the dead-letter queue for offline inspection.
+  /// 0 disables dead-lettering (unbounded redelivery, the 2010 behaviour).
+  int max_deliveries = 5;
+  std::string dead_letter_queue = "dead-letter";
   /// Retry policy for all of the framework's own storage traffic. Defaults
   /// to capped exponential backoff with every transient class retryable, so
   /// the framework rides out injected timeouts/resets; swap in
@@ -91,6 +98,11 @@ class BagOfTasksApp {
     auto termination = queues.get_queue_reference(cfg_.termination_queue);
     co_await azure::with_retry(
         sim, [&] { return termination.create_if_not_exists(); }, cfg_.retry);
+    if (cfg_.max_deliveries > 0) {
+      auto dlq = queues.get_queue_reference(cfg_.dead_letter_queue);
+      co_await azure::with_retry(
+          sim, [&] { return dlq.create_if_not_exists(); }, cfg_.retry);
+    }
     auto spill = account_.create_cloud_blob_client().get_container_reference(
         cfg_.spill_container);
     co_await azure::with_retry(
@@ -185,6 +197,29 @@ class BagOfTasksApp {
       }
       idle_polls = 0;
 
+      // Poison-task dead-lettering: this delivery already counts toward the
+      // cap, so a task seen more than max_deliveries times is parked on the
+      // dead-letter queue instead of crashing yet another handler.
+      if (cfg_.max_deliveries > 0 &&
+          msg->dequeue_count > cfg_.max_deliveries) {
+        auto dlq = queues.get_queue_reference(cfg_.dead_letter_queue);
+        co_await azure::with_retry(
+            sim, [&] { return dlq.add_message(msg->body); }, cfg_.retry);
+        // Delete AFTER the dead-letter copy is durable (at-least-once: a
+        // worker dying between the two adds a duplicate DLQ entry, never
+        // loses the task).
+        try {
+          co_await azure::with_retry(
+              sim, [&] { return q.delete_message(*msg); }, cfg_.retry);
+        } catch (const azure::PreconditionFailedError&) {
+          // Redelivered to someone else meanwhile; they will dead-letter it
+          // again and one of the deletes will win.
+        } catch (const azure::NotFoundError&) {
+        }
+        ++dead_lettered_;
+        continue;
+      }
+
       TaskDescriptor task = co_await resolve(worker_account, msg->body);
 
       // Renew the task's lease concurrently while the handler runs, so a
@@ -251,6 +286,31 @@ class BagOfTasksApp {
   /// Handler invocations that ended in an exception (each one leads to a
   /// redelivery of the task).
   std::int64_t handler_failures() const noexcept { return handler_failures_; }
+
+  /// Tasks this app's workers moved to the dead-letter queue.
+  std::int64_t dead_lettered() const noexcept { return dead_lettered_; }
+
+  /// Messages currently parked on the dead-letter queue.
+  sim::Task<std::int64_t> dead_letter_count() {
+    auto& sim = account_.environment().simulation();
+    auto q = account_.create_cloud_queue_client().get_queue_reference(
+        cfg_.dead_letter_queue);
+    co_return co_await azure::with_retry(
+        sim, [&] { return q.get_message_count(); }, cfg_.retry);
+  }
+
+  /// Blocks (in virtual time) until every one of `expected` tasks is
+  /// *resolved* — completed by a worker or parked on the dead-letter queue.
+  /// This is the termination condition for workloads with poison tasks,
+  /// where wait_for_completion(expected) would spin forever.
+  sim::Task<void> wait_for_resolution(std::int64_t expected) {
+    auto& sim = account_.environment().simulation();
+    for (;;) {
+      const std::int64_t done = co_await completed_count();
+      if (done + dead_lettered_ >= expected) co_return;
+      co_await sim.delay(cfg_.idle_poll_interval);
+    }
+  }
 
  private:
   static constexpr std::string_view kSpillMarker = "\x01spill:";
@@ -322,6 +382,7 @@ class BagOfTasksApp {
   std::int64_t next_task_id_ = 0;
   std::int64_t submitted_ = 0;
   std::int64_t handler_failures_ = 0;
+  std::int64_t dead_lettered_ = 0;
 };
 
 }  // namespace framework

@@ -40,7 +40,9 @@ class Network {
   faults::FaultPlan* fault_plan() const noexcept { return plan_; }
 
   /// Transfers `bytes` from `src` to `dst` (0 bytes = a control message that
-  /// only pays NIC latency + propagation).
+  /// only pays NIC latency + propagation). Returns true when the payload
+  /// arrived with flipped bits: timing is identical to a clean transfer —
+  /// the damage is only observable to layers that checksum the payload.
   ///
   /// Under an active fault plan a transfer may additionally
   ///  * be dropped — the sender's occupancy is paid but the message never
@@ -49,7 +51,7 @@ class Network {
   ///  * be duplicated — the payload pays its link occupancy twice (a
   ///    retransmission; the transport dedupes, so no semantic effect);
   ///  * hit a latency spike — extra propagation delay on this hop.
-  sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
+  sim::Task<bool> transfer_checked(Nic& src, Nic& dst, std::int64_t bytes) {
     faults::LinkFault fault = faults::LinkFault::kNone;
     if (plan_ != nullptr) fault = plan_->draw_link_fault(bytes);
 
@@ -75,6 +77,17 @@ class Network {
     }
     ++transfers_;
     bytes_moved_ += bytes;
+    if (fault == faults::LinkFault::kBitFlip) {
+      ++corrupted_transfers_;
+      co_return true;
+    }
+    co_return false;
+  }
+
+  /// transfer_checked for callers that carry no payload checksum (corrupt
+  /// arrivals are indistinguishable from clean ones to them).
+  sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
+    (void)co_await transfer_checked(src, dst, bytes);
   }
 
   /// One-way control-plane delay (request or response header).
@@ -85,6 +98,9 @@ class Network {
   std::int64_t transfers() const noexcept { return transfers_; }
   std::int64_t bytes_moved() const noexcept { return bytes_moved_; }
   std::int64_t dropped_transfers() const noexcept { return dropped_transfers_; }
+  std::int64_t corrupted_transfers() const noexcept {
+    return corrupted_transfers_;
+  }
 
  private:
   sim::Simulation& sim_;
@@ -93,6 +109,7 @@ class Network {
   std::int64_t transfers_ = 0;
   std::int64_t bytes_moved_ = 0;
   std::int64_t dropped_transfers_ = 0;
+  std::int64_t corrupted_transfers_ = 0;
 };
 
 }  // namespace netsim

@@ -16,8 +16,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "azure_test_util.hpp"
@@ -28,6 +30,15 @@
 #include "framework/bag_of_tasks.hpp"
 #include "simcore/random.hpp"
 #include "simcore/sync.hpp"
+
+/// CLI overrides (see main() at the bottom): `--chaos_seed=N` re-seeds the
+/// fig6 fleet scenarios so CI can diversify coverage across runs without a
+/// rebuild, and `--chaos_messages=N` scales the per-worker workload (run
+/// duration) up or down to fit the wall-clock budget of the machine.
+namespace chaos_flags {
+std::uint64_t seed = 0xC0A1;
+int messages = 8;
+}  // namespace chaos_flags
 
 namespace {
 
@@ -134,11 +145,11 @@ QueueChaosResult run_queue_chaos(std::uint64_t seed, int workers,
 }
 
 TEST(ChaosQueueTest, Fig6FleetProcessesEveryMessageAtLeastOnce) {
-  const QueueChaosResult r = run_queue_chaos(0xC0A1, /*workers=*/24,
-                                             /*messages=*/8);
+  const QueueChaosResult r = run_queue_chaos(chaos_flags::seed, /*workers=*/24,
+                                             chaos_flags::messages);
   // Completion despite injected failures: every worker deleted its full
   // batch (the drain loop cannot exit otherwise), so no message was lost.
-  EXPECT_EQ(r.deletes, 24 * 8);
+  EXPECT_EQ(r.deletes, 24 * chaos_flags::messages);
   // Every abandoned delivery came back exactly once per abandonment.
   EXPECT_EQ(r.redeliveries, r.abandons);
   EXPECT_GT(r.abandons, 0);
@@ -224,6 +235,83 @@ TEST(ChaosTableTest, IdempotentWritesAreNeitherLostNorDoubleApplied) {
   EXPECT_FALSE(w.env.fault_plan().log().empty());
 }
 
+// ------------------------------------------------- integrity chaos ----
+
+/// The hostile cloud with bit-flip corruption layered on top: ~3% of
+/// transfers arrive damaged, on top of the drops, spikes, and crash/restart
+/// cycles (whose torn replica writes the scrubbers must also heal).
+azure::CloudConfig chaos_integrity_cloud(std::uint64_t seed) {
+  azure::CloudConfig cfg = chaos_cloud(seed);
+  cfg.faults.corruption_probability = 0.03;
+  return cfg;
+}
+
+std::string chaos_body(int worker, int k) {
+  std::string s = std::to_string(k) + ":";
+  sim::Random rng(static_cast<std::uint64_t>(worker) * 7919u +
+                  static_cast<std::uint64_t>(k) + 5);
+  for (int i = 0; i < 192; ++i) {
+    s += static_cast<char>('!' + rng.uniform(0, 90));
+  }
+  return s;
+}
+
+TEST(ChaosIntegrityTest, NoCorruptPayloadEverReachesAClient) {
+  constexpr int kWorkers = 12;
+  const int kMessages = chaos_flags::messages;
+  TestWorld w(chaos_integrity_cloud(chaos_flags::seed ^ 0x1D7));
+  std::int64_t corrupt_observed = 0;
+  sim::WaitGroup wg(w.sim);
+  for (int i = 0; i < kWorkers; ++i) {
+    wg.add();
+    w.sim.spawn([](TestWorld& t, int id, int messages,
+                   std::int64_t& corrupt_observed,
+                   sim::WaitGroup& wg) -> Task<> {
+      const azure::RetryPolicy retry = chaos_retry(id);
+      auto q = t.account.create_cloud_queue_client().get_queue_reference(
+          "int-q-" + std::to_string(id));
+      co_await azure::with_retry(
+          t.sim, [&] { return q.create_if_not_exists(); }, retry);
+      for (int k = 0; k < messages; ++k) {
+        co_await azure::with_retry(t.sim, [&] {
+          return q.add_message(Payload::bytes(chaos_body(id, k)));
+        }, retry);
+      }
+      int done = 0;
+      while (done < messages) {
+        CO_ASSERT_TRUE(t.sim.now() < sim::seconds(900));
+        auto m = co_await azure::with_retry(
+            t.sim, [&] { return q.get_message(sim::seconds(5)); }, retry);
+        if (!m.has_value()) {
+          co_await t.sim.delay(sim::millis(200));
+          continue;
+        }
+        const int k = std::stoi(m->body.data());
+        if (m->body.data() != chaos_body(id, k)) ++corrupt_observed;
+        co_await azure::with_retry(
+            t.sim, [&] { return q.delete_message(*m); }, retry);
+        ++done;
+      }
+      wg.done();
+    }(w, i, kMessages, corrupt_observed, wg));
+  }
+  w.sim.run();
+
+  // The headline invariant: bits flipped on the wire and crashes tore
+  // replica writes, yet no client ever decoded a corrupt payload.
+  EXPECT_EQ(corrupt_observed, 0);
+  auto& plan = *w.env.storage_cluster().fault_plan();
+  EXPECT_GT(plan.count(faults::FaultKind::kBitFlip), 0);
+  EXPECT_GT(plan.count(faults::FaultKind::kChecksumMismatch), 0);
+
+  // Force an anti-entropy pass and require full replica convergence.
+  auto& cluster = w.env.storage_cluster();
+  EXPECT_GT(cluster.replica_store().tracked_objects(), 0);
+  w.sim.spawn(cluster.scrub_all());
+  w.sim.run();
+  EXPECT_EQ(cluster.replica_store().divergent_replicas(), 0);
+}
+
 // ---------------------------------------------- bag-of-tasks chaos ----
 
 TEST(ChaosBagOfTasksTest, CompletesDespiteCrashingHandlers) {
@@ -283,3 +371,24 @@ TEST(ChaosBagOfTasksTest, CompletesDespiteCrashingHandlers) {
 }
 
 }  // namespace
+
+/// Custom entry point (the chaos target links gtest, not gtest_main) so the
+/// binary accepts scenario flags alongside the usual --gtest_* ones:
+///   --chaos_seed=N      re-seed the fault plans of the fleet scenarios
+///   --chaos_messages=N  per-worker message count (run duration)
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kSeed = "--chaos_seed=";
+    constexpr std::string_view kMessages = "--chaos_messages=";
+    if (arg.rfind(kSeed, 0) == 0) {
+      chaos_flags::seed =
+          std::strtoull(arg.substr(kSeed.size()).data(), nullptr, 0);
+    } else if (arg.rfind(kMessages, 0) == 0) {
+      chaos_flags::messages =
+          std::max(1, std::atoi(arg.substr(kMessages.size()).data()));
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

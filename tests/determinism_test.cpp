@@ -185,9 +185,11 @@ Task<> chaos_worker(TestWorld& t, int id, OpCounts& ops, sim::WaitGroup& wg) {
   wg.done();
 }
 
-ChaosRunResult run_chaos_scenario(std::uint64_t fault_seed) {
+ChaosRunResult run_chaos_scenario(std::uint64_t fault_seed,
+                                  double corruption = 0.0) {
   azure::CloudConfig cfg;
   cfg.faults.seed = fault_seed;
+  cfg.faults.corruption_probability = corruption;
   cfg.faults.drop_probability = 0.01;
   cfg.faults.duplicate_probability = 0.01;
   cfg.faults.latency_spike_probability = 0.02;
@@ -243,6 +245,39 @@ TEST(DeterminismTest, DifferentFaultSeedsInjectDifferentFaults) {
   const ChaosRunResult a = run_chaos_scenario(7);
   const ChaosRunResult b = run_chaos_scenario(8);
   EXPECT_NE(a.fault_log, b.fault_log);
+}
+
+// With bit-flip corruption armed on top of crashes, the full integrity
+// machinery participates in the replay contract: checksum rejections,
+// read-repairs, torn writes, and the post-restart scrubbers all derive
+// from seeded draws, so the fault log — injections AND detections AND
+// repairs — must replay byte-identically.
+TEST(DeterminismTest, IntegrityChaos96WorkerRunIsBitIdentical) {
+  const ChaosRunResult first = run_chaos_scenario(11, /*corruption=*/0.02);
+  const ChaosRunResult second = run_chaos_scenario(11, /*corruption=*/0.02);
+
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.final_time, second.final_time);
+  ASSERT_EQ(first.per_worker.size(), second.per_worker.size());
+  for (int i = 0; i < kWorkers; ++i) {
+    EXPECT_EQ(first.per_worker[static_cast<size_t>(i)],
+              second.per_worker[static_cast<size_t>(i)])
+        << "worker " << i << " diverged between identical integrity runs";
+  }
+  EXPECT_EQ(first.fault_log, second.fault_log);
+
+  // The integrity layer was actually exercised, not just idle.
+  const auto count = [&](faults::FaultKind k) {
+    return std::count_if(
+        first.fault_log.begin(), first.fault_log.end(),
+        [k](const faults::FaultRecord& f) { return f.kind == k; });
+  };
+  EXPECT_GT(count(faults::FaultKind::kBitFlip), 0);
+  EXPECT_EQ(count(faults::FaultKind::kServerCrash), 4);
+  for (const OpCounts& ops : first.per_worker) {
+    EXPECT_EQ(ops.puts, 6);
+    EXPECT_EQ(ops.deletes, 6);
+  }
 }
 
 }  // namespace

@@ -247,6 +247,31 @@ INSTANTIATE_TEST_SUITE_P(BudgetsAndBursts, WindowCounterLaw,
                          ::testing::Combine(::testing::Values(1, 5, 500),
                                             ::testing::Values(1, 100, 700)));
 
+/// Boundary regression for the window roll: an admission at exactly
+/// t == window must land in the NEW window (with a fresh budget), not
+/// consume a slot of the expired one, and the budget of the old window
+/// must be honoured up to its last representable instant.
+TEST(WindowCounterBoundaryTest, RollHappensExactlyAtTheWindowEdge) {
+  sim::Simulation s;
+  constexpr int kBudget = 3;
+  sim::WindowCounter wc(s, kBudget);
+  // Exhaust the first window's budget at t = 0.
+  for (int i = 0; i < kBudget; ++i) EXPECT_TRUE(wc.try_consume());
+  EXPECT_FALSE(wc.try_consume());
+  // One tick before the edge the old window still applies.
+  s.run_until(sim::kSecond - 1);
+  EXPECT_FALSE(wc.try_consume());
+  // At exactly t == window the counter rolls: a full fresh budget.
+  s.run_until(sim::kSecond);
+  for (int i = 0; i < kBudget; ++i) {
+    EXPECT_TRUE(wc.try_consume()) << "admission " << i << " at the edge";
+  }
+  EXPECT_FALSE(wc.try_consume());
+  // The rejected attempts above must not have consumed future budget.
+  s.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(wc.try_consume());
+}
+
 // -------------------------------------------------------- barrier sweep ----
 
 /// Property: for any worker count, no worker passes the barrier before the
@@ -386,5 +411,95 @@ TEST_P(DeterminismLaw, IdenticalEndTimes) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeterminismLaw,
                          ::testing::Values(1, 8, 33));
+
+// ----------------------------------------------------- integrity property ----
+
+/// Property: for ANY corruption-plan seed — bit-flips on the wire, server
+/// crashes tearing replica writes — no client ever observes a corrupt byte
+/// (damaged payloads are rejected or retried end-to-end), and one forced
+/// anti-entropy pass converges every replica of every tracked object back
+/// to its committed checksum.
+class IntegrityLaw : public ::testing::TestWithParam<int> {};
+
+std::string integrity_body(int id) {
+  std::string s = std::to_string(id) + ":";
+  sim::Random rng(static_cast<std::uint64_t>(id) * 2654435761u + 99);
+  for (int i = 0; i < 256; ++i) s += static_cast<char>('!' + rng.uniform(0, 90));
+  return s;
+}
+
+TEST_P(IntegrityLaw, NoCorruptByteReachesClientsAndScrubConverges) {
+  const int seed = GetParam();
+  azure::CloudConfig cfg;
+  cfg.faults.seed = 0x1D7E9 + static_cast<std::uint64_t>(seed);
+  cfg.faults.corruption_probability = 0.04;
+  cfg.faults.drop_probability = 0.01;
+  cfg.faults.drop_timeout = sim::millis(200);
+  cfg.faults.server_crashes = 2;
+  cfg.faults.crash_mean_interval = sim::seconds(2);
+  cfg.faults.server_downtime = sim::millis(500);
+  TestWorld w(cfg);
+
+  constexpr int kMessages = 12;
+  azure::RetryPolicy retry;
+  retry.backoff = sim::millis(250);
+  retry.max_backoff = sim::seconds(2);
+  retry.jitter_seed = static_cast<std::uint64_t>(seed);
+
+  int corrupt_observed = 0;
+  w.sim.spawn([](TestWorld& t, azure::RetryPolicy retry,
+                 int& corrupt_observed) -> Task<> {
+    auto q = t.account.create_cloud_queue_client().get_queue_reference("iq");
+    co_await azure::with_retry(
+        t.sim, [&] { return q.create_if_not_exists(); }, retry);
+    for (int i = 0; i < kMessages; ++i) {
+      co_await azure::with_retry(t.sim, [&] {
+        return q.add_message(Payload::bytes(integrity_body(i)));
+      }, retry);
+    }
+    int deleted = 0;
+    while (deleted < kMessages) {
+      CO_ASSERT_TRUE(t.sim.now() < sim::seconds(600));  // lost-message guard
+      auto m = co_await azure::with_retry(
+          t.sim, [&] { return q.get_message(sim::seconds(5)); }, retry);
+      if (!m.has_value()) {
+        co_await t.sim.delay(sim::millis(200));
+        continue;
+      }
+      const int id = std::stoi(m->body.data());
+      if (m->body.data() != integrity_body(id)) ++corrupt_observed;
+      co_await azure::with_retry(
+          t.sim, [&] { return q.delete_message(*m); }, retry);
+      ++deleted;
+    }
+    // One blob round-trip through the same hostile wire.
+    auto c = t.account.create_cloud_blob_client().get_container_reference("ic");
+    co_await azure::with_retry(
+        t.sim, [&] { return c.create_if_not_exists(); }, retry);
+    auto blob = c.get_block_blob_reference("ib");
+    const std::string data = integrity_body(1'000'000);
+    co_await azure::with_retry(
+        t.sim, [&] { return blob.upload_text(Payload::bytes(data)); }, retry);
+    const auto back = co_await azure::with_retry(
+        t.sim, [&] { return blob.download_text(); }, retry);
+    if (back.data() != data) ++corrupt_observed;
+  }(w, retry, corrupt_observed));
+  w.sim.run();
+
+  EXPECT_EQ(corrupt_observed, 0)
+      << "a corrupt payload reached a client under seed " << seed;
+
+  // Force one full anti-entropy pass and require total convergence: every
+  // replica of every tracked object back on the committed checksum.
+  auto& cluster = w.env.storage_cluster();
+  EXPECT_GT(cluster.replica_store().tracked_objects(), 0);
+  w.sim.spawn(cluster.scrub_all());
+  w.sim.run();
+  EXPECT_EQ(cluster.replica_store().divergent_replicas(), 0)
+      << "scrub failed to converge replicas under seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredSeeds, IntegrityLaw,
+                         ::testing::Range(0, 200));
 
 }  // namespace

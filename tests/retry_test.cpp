@@ -21,7 +21,7 @@ namespace {
 using azb_test::TestWorld;
 using sim::Task;
 
-enum class Err { kTimeout, kReset, kBusy, kNotFound };
+enum class Err { kTimeout, kReset, kBusy, kNotFound, kChecksum };
 
 /// One attempt: fails with `e` while calls <= failures, then returns 7.
 Task<int> attempt(int& calls, int failures, Err e) {
@@ -36,6 +36,8 @@ Task<int> attempt(int& calls, int failures, Err e) {
         throw azure::ServerBusyError("injected busy");
       case Err::kNotFound:
         throw azure::NotFoundError("injected 404");
+      case Err::kChecksum:
+        throw azure::ChecksumMismatchError("injected bit-flip");
     }
   }
   co_return 7;
@@ -119,6 +121,35 @@ TEST(RetryTaxonomyTest, ConnectionResetNotRetriedWhenDisabled) {
   const Outcome o = drive(p, 1, Err::kReset);
   EXPECT_TRUE(o.threw);
   EXPECT_EQ(o.calls, 1);
+}
+
+TEST(RetryTaxonomyTest, ChecksumMismatchRetriedByDefault) {
+  // A failed end-to-end checksum means the bytes died on the wire, not in
+  // the service: the request was either rejected before any state changed
+  // (uploads) or is a re-readable download — always safe to retry.
+  const Outcome o = drive(exact_policy(), 2, Err::kChecksum);
+  EXPECT_EQ(o.result, 7);
+  EXPECT_EQ(o.calls, 3);
+  EXPECT_EQ(o.retries, 2);
+  EXPECT_EQ(o.elapsed, sim::millis(500) + sim::seconds(1));
+}
+
+TEST(RetryTaxonomyTest, ChecksumMismatchNotRetriedWhenDisabled) {
+  azure::RetryPolicy p = exact_policy();
+  p.retry_checksum_mismatch = false;
+  const Outcome o = drive(p, 1, Err::kChecksum);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 1);
+  EXPECT_EQ(o.retries, 0);
+}
+
+TEST(RetryTaxonomyTest, ChecksumMismatchExhaustionRethrows) {
+  azure::RetryPolicy p = exact_policy();
+  p.max_attempts = 3;
+  const Outcome o = drive(p, 1'000'000, Err::kChecksum);
+  EXPECT_TRUE(o.threw);
+  EXPECT_EQ(o.calls, 3);
+  EXPECT_EQ(o.retries, 2);
 }
 
 TEST(RetryTaxonomyTest, SemanticErrorsNeverRetried) {
@@ -219,6 +250,10 @@ TEST(RetryPaperPresetTest, SurfacesInjectedFaultsInsteadOfHidingThem) {
   EXPECT_EQ(timeout.calls, 1);
   const Outcome reset = drive(azure::RetryPolicy::paper(), 1, Err::kReset);
   EXPECT_TRUE(reset.threw);
+  // The 2010-era client had no end-to-end checksum machinery either.
+  const Outcome crc = drive(azure::RetryPolicy::paper(), 1, Err::kChecksum);
+  EXPECT_TRUE(crc.threw);
+  EXPECT_EQ(crc.calls, 1);
   // ...but the paper-era ServerBusy is still retried after 1 s.
   const Outcome busy = drive(azure::RetryPolicy::paper(), 2, Err::kBusy);
   EXPECT_EQ(busy.result, 7);
