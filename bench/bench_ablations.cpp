@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   for (const bool replicas : {true, false}) {
     const auto r = azurebench::run_blob_benchmark(blob_cfg(replicas));
     table.add_row({"replica-reads", replicas ? "on (default)" : "off",
-                   "block full download MB/s @48 workers",
-                   benchutil::fmt(r.block_full_read.mb_per_sec())});
+                   "block full download MiB/s @48 workers",
+                   benchutil::fmt(r.block_full_read.mib_per_sec())});
   }
 
   // 2. The 16 KB Get anomaly.

@@ -8,11 +8,12 @@
 // queue barrier is excluded from the timings.
 //
 // Flags: --workers=N (single point), --repeats=N, --quick,
-//        --no-replica-reads (ablation), --csv.
+//        --no-replica-reads (ablation), --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/blob_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   const auto sweep = benchutil::worker_sweep(argc, argv);
@@ -21,31 +22,34 @@ int main(int argc, char** argv) {
                                                                           : 10));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const bool no_replica = benchutil::flag_set(argc, argv, "--no-replica-reads");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 4 — Blob storage upload/download vs. workers\n"
       "100 MB blobs, 1 MB chunks, %d repeats%s\n\n",
       repeats, no_replica ? " [ablation: replica reads OFF]" : "");
 
-  benchutil::Table table({"workers", "pageUp_s", "pageUp_MBps", "blockUp_s",
-                          "blockUp_MBps", "pageDown_s", "pageDown_MBps",
-                          "blockDown_s", "blockDown_MBps", "barrier_s"});
+  benchutil::Table table({"workers", "pageUp_s", "pageUp_MiBps", "blockUp_s",
+                          "blockUp_MiBps", "pageDown_s", "pageDown_MiBps",
+                          "blockDown_s", "blockDown_MiBps", "barrier_s"});
 
   for (const int workers : sweep) {
     azurebench::BlobBenchConfig cfg;
     cfg.workers = workers;
     cfg.repeats = repeats;
     cfg.cloud.blob.replica_reads = !no_replica;
+    if (obs_flags.enabled) cfg.observer = &observer;
     const auto r = azurebench::run_blob_benchmark(cfg);
     table.add_row({std::to_string(workers),
                    benchutil::fmt(r.page_upload.seconds),
-                   benchutil::fmt(r.page_upload.mb_per_sec()),
+                   benchutil::fmt(r.page_upload.mib_per_sec()),
                    benchutil::fmt(r.block_upload.seconds),
-                   benchutil::fmt(r.block_upload.mb_per_sec()),
+                   benchutil::fmt(r.block_upload.mib_per_sec()),
                    benchutil::fmt(r.page_full_read.seconds),
-                   benchutil::fmt(r.page_full_read.mb_per_sec()),
+                   benchutil::fmt(r.page_full_read.mib_per_sec()),
                    benchutil::fmt(r.block_full_read.seconds),
-                   benchutil::fmt(r.block_full_read.mb_per_sec()),
+                   benchutil::fmt(r.block_full_read.mib_per_sec()),
                    benchutil::fmt(r.barrier_seconds)});
   }
   if (csv) {
@@ -57,5 +61,6 @@ int main(int argc, char** argv) {
         "~60 MB/s,\nblock upload at ~21 MB/s, block download reaches "
         "~165 MB/s at 96 workers.\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
   return 0;
 }

@@ -3,11 +3,12 @@
 // workers. Pages are read at random offsets (paying the page-index lookup);
 // blocks are read sequentially.
 //
-// Flags: --workers=N, --repeats=N, --quick, --csv.
+// Flags: --workers=N, --repeats=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/blob_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   const auto sweep = benchutil::worker_sweep(argc, argv);
@@ -15,27 +16,30 @@ int main(int argc, char** argv) {
       argc, argv, "--repeats", benchutil::flag_set(argc, argv, "--quick") ? 3
                                                                           : 10));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 5 — chunk-wise blob download vs. workers\n"
       "100 chunks of 1 MB per worker per repeat, %d repeats\n\n",
       repeats);
 
-  benchutil::Table table({"workers", "pageRand_s", "pageRand_MBps",
-                          "pageRand_ms/op", "blockSeq_s", "blockSeq_MBps",
+  benchutil::Table table({"workers", "pageRand_s", "pageRand_MiBps",
+                          "pageRand_ms/op", "blockSeq_s", "blockSeq_MiBps",
                           "blockSeq_ms/op"});
 
   for (const int workers : sweep) {
     azurebench::BlobBenchConfig cfg;
     cfg.workers = workers;
     cfg.repeats = repeats;
+    if (obs_flags.enabled) cfg.observer = &observer;
     const auto r = azurebench::run_blob_benchmark(cfg);
     table.add_row({std::to_string(workers),
                    benchutil::fmt(r.page_random_read.seconds),
-                   benchutil::fmt(r.page_random_read.mb_per_sec()),
+                   benchutil::fmt(r.page_random_read.mib_per_sec()),
                    benchutil::fmt(r.page_random_read.ms_per_op() * workers),
                    benchutil::fmt(r.block_seq_read.seconds),
-                   benchutil::fmt(r.block_seq_read.mb_per_sec()),
+                   benchutil::fmt(r.block_seq_read.mib_per_sec()),
                    benchutil::fmt(r.block_seq_read.ms_per_op() * workers)});
   }
   if (csv) {
@@ -47,5 +51,6 @@ int main(int argc, char** argv) {
         "~71 MB/s and\nsequential block-wise download ~104 MB/s at 96 "
         "workers.\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
   return 0;
 }

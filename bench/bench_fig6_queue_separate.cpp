@@ -7,11 +7,13 @@
 // slow 16 KB Get the paper reports is reproduced; pass --no-anomaly to
 // disable that quirk.
 //
-// Flags: --workers=N, --messages=N, --quick, --no-anomaly, --csv.
+// Flags: --workers=N, --messages=N, --quick, --no-anomaly, --csv,
+//        --obs, --obs-json=FILE, --trace (print one GetMessage span tree).
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/queue_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   const auto sweep = benchutil::worker_sweep(argc, argv);
@@ -20,6 +22,8 @@ int main(int argc, char** argv) {
       benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000);
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const bool no_anomaly = benchutil::flag_set(argc, argv, "--no-anomaly");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 6 — Queue storage, separate queue per worker\n"
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
     cfg.workers = workers;
     cfg.total_messages = messages;
     cfg.cloud.queue.model_16k_get_anomaly = !no_anomaly;
+    if (obs_flags.enabled) cfg.observer = &observer;
     const auto r = azurebench::run_queue_separate_benchmark(cfg);
     for (const auto& p : r.points) {
       table.add_row(
@@ -55,5 +60,7 @@ int main(int argc, char** argv) {
         "Peek < Put < Get;\nthe 16 KB Get point is consistently slower than "
         "both smaller and larger sizes.\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
+  if (obs_flags.trace) benchutil::print_obs_trace(observer, "queue.get");
   return 0;
 }

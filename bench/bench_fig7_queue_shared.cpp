@@ -4,11 +4,12 @@
 // messages total split into <=500-message rounds; think time between
 // accesses is excluded from the reported times.
 //
-// Flags: --workers=N, --messages=N, --quick, --csv.
+// Flags: --workers=N, --messages=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/queue_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   auto sweep = benchutil::worker_sweep(argc, argv);
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
       argc, argv, "--messages",
       benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000);
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 7 — Queue storage, single shared queue\n"
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
     azurebench::QueueSharedConfig cfg;
     cfg.workers = workers;
     cfg.total_messages = messages;
+    if (obs_flags.enabled) cfg.observer = &observer;
     const auto r = azurebench::run_queue_shared_benchmark(cfg);
     for (const auto& p : r.points) {
       table.add_row({std::to_string(workers), std::to_string(p.think_seconds),
@@ -58,5 +62,6 @@ int main(int argc, char** argv) {
         "~2x) and total\ncommunication time falls as workers grow (fixed "
         "total transactions).\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
   return 0;
 }

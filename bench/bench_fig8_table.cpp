@@ -3,11 +3,12 @@
 // worker works on 500 entities in its own partition; updates are
 // unconditional (ETag "*"); ServerBusy is retried after a 1 s sleep.
 //
-// Flags: --workers=N, --entities=N, --quick, --csv.
+// Flags: --workers=N, --entities=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/table_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   const auto sweep = benchutil::worker_sweep(argc, argv);
@@ -15,6 +16,8 @@ int main(int argc, char** argv) {
       argc, argv, "--entities",
       benchutil::flag_set(argc, argv, "--quick") ? 100 : 500));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 8 — Table storage operations vs. workers\n"
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
     azurebench::TableBenchConfig cfg;
     cfg.workers = workers;
     cfg.entities = entities;
+    if (obs_flags.enabled) cfg.observer = &observer;
     const auto r = azurebench::run_table_benchmark(cfg);
     bool first = true;
     for (const auto& p : r.points) {
@@ -50,5 +54,6 @@ int main(int argc, char** argv) {
         "KB entities\nthe times rise drastically with workers; Update is the "
         "most expensive\noperation and Query the cheapest.\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
   return 0;
 }

@@ -6,17 +6,20 @@
 // in ms/op). Queue numbers use 32 KB messages; table numbers use 32 KB
 // entities — the midpoint sizes of Figs. 6 and 8.
 //
-// Flags: --workers=N, --quick, --csv.
+// Flags: --workers=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/queue_benchmark.hpp"
 #include "core/table_benchmark.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   const auto sweep = benchutil::worker_sweep(argc, argv);
   const bool quick = benchutil::flag_set(argc, argv, "--quick");
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
+  const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
+  obs::Observer observer;
 
   std::printf(
       "AzureBench Fig. 9 — per-operation time (ms) for Table and Queue "
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
     tcfg.workers = workers;
     tcfg.entities = quick ? 100 : 500;
     tcfg.entity_sizes = {32 << 10};
+    if (obs_flags.enabled) tcfg.observer = &observer;
     const auto t = azurebench::run_table_benchmark(tcfg);
     const auto& tp = t.points.front();
 
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
     qcfg.workers = workers;
     qcfg.total_messages = quick ? 2'000 : 20'000;
     qcfg.message_sizes = {32 << 10};
+    if (obs_flags.enabled) qcfg.observer = &observer;
     const auto q = azurebench::run_queue_separate_benchmark(qcfg);
     const auto& qp = q.points.front();
 
@@ -58,5 +63,6 @@ int main(int argc, char** argv) {
         "workers\nincrease — table per-op times inflate while queue per-op "
         "times stay flat.\n");
   }
+  benchutil::finish_obs(obs_flags, observer);
   return 0;
 }

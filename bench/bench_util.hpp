@@ -1,13 +1,19 @@
 // Shared helpers for the figure-reproduction benchmark binaries: a tiny
-// flag parser and fixed-width table / CSV emitters.
+// flag parser, fixed-width table / CSV emitters, and the observability
+// exporters (`--obs` / `--obs-json=` / `--trace`) shared by fig4–fig9.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/observer.hpp"
+#include "simcore/time.hpp"
 
 namespace benchutil {
 
@@ -18,6 +24,18 @@ inline std::int64_t flag_int(int argc, char** argv, const char* name,
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
       return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Returns the string value of `--name=value`, or `fallback`.
+inline std::string flag_value(int argc, char** argv, const char* name,
+                              const char* fallback = "") {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
     }
   }
   return fallback;
@@ -93,6 +111,165 @@ inline std::string fmt(double v, int decimals = 2) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Observability wiring shared by the figure binaries. All of it is opt-in:
+// with none of the flags below, no Observer is constructed and every
+// instrumentation point in the simulator stays inert, so paper-mode outputs
+// are byte-identical to an unobserved build.
+// ---------------------------------------------------------------------------
+
+/// Observability flags common to fig4–fig9:
+///   --obs              print per-layer / per-operation latency breakdowns
+///   --obs-json=FILE    dump the full Observer JSON (metrics + histograms +
+///                      span ring) to FILE ("-" = stdout)
+///   --trace            (where supported) also print one sample request's
+///                      span tree — implies --obs
+struct ObsFlags {
+  bool enabled = false;
+  bool trace = false;
+  std::string json_path;
+};
+
+inline ObsFlags obs_flags(int argc, char** argv) {
+  ObsFlags f;
+  f.trace = flag_set(argc, argv, "--trace");
+  f.json_path = flag_value(argc, argv, "--obs-json");
+  f.enabled = f.trace || !f.json_path.empty() || flag_set(argc, argv, "--obs");
+  return f;
+}
+
+/// Per-layer latency summary: one row per span kind that recorded anything.
+inline void print_obs_layers(const obs::Observer& o) {
+  Table table({"layer", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"});
+  for (int k = 0; k < obs::kSpanKindCount; ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    const obs::LatencyHistogram& h = o.layer(kind);
+    if (h.count() == 0) continue;
+    table.add_row({obs::span_kind_name(kind), std::to_string(h.count()),
+                   fmt(sim::to_seconds(h.quantile(0.50)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.quantile(0.95)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.quantile(0.99)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.max()) * 1e3, 3)});
+  }
+  std::printf("\nPer-layer latency breakdown:\n");
+  table.print();
+}
+
+/// Per-operation latency summary keyed by interned label (blob.upload,
+/// queue.get, throttle gates, error classes, ...), in intern order — which
+/// is deterministic because label interning is deterministic.
+inline void print_obs_ops(const obs::Observer& o) {
+  Table table({"operation", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"});
+  for (std::size_t id = 1; id < o.label_count(); ++id) {
+    const obs::LatencyHistogram& h = o.op(static_cast<std::uint16_t>(id));
+    if (h.count() == 0) continue;
+    table.add_row({o.label_name(static_cast<std::uint16_t>(id)),
+                   std::to_string(h.count()),
+                   fmt(sim::to_seconds(h.quantile(0.50)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.quantile(0.95)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.quantile(0.99)) * 1e3, 3),
+                   fmt(sim::to_seconds(h.max()) * 1e3, 3)});
+  }
+  std::printf("\nPer-operation latency breakdown:\n");
+  table.print();
+}
+
+/// Prints the span tree of one sample trace — the newest trace containing a
+/// span labeled `want_label` (any trace when the label is empty or never
+/// seen). Children print indented beneath their parent, in span-id
+/// (creation) order.
+inline void print_obs_trace(const obs::Observer& o,
+                            std::string_view want_label = "") {
+  const std::vector<obs::Span> spans = o.spans();
+  std::uint64_t trace_id = 0;
+  for (const obs::Span& s : spans) {  // oldest → newest; keep the last match
+    if (!want_label.empty() && o.label_name(s.label) != want_label) continue;
+    trace_id = s.trace_id;
+  }
+  if (trace_id == 0 && !spans.empty()) {  // fall back to the newest trace
+    trace_id = spans.back().trace_id;
+  }
+  if (trace_id == 0) {
+    std::printf("\n(no complete trace captured)\n");
+    return;
+  }
+
+  std::vector<obs::Span> trace;
+  for (const obs::Span& s : spans) {
+    if (s.trace_id == trace_id) trace.push_back(s);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const obs::Span& a, const obs::Span& b) {
+              return a.span_id < b.span_id;
+            });
+  const sim::TimePoint t0 = [&] {
+    sim::TimePoint first = trace.front().start;
+    for (const obs::Span& s : trace) first = std::min(first, s.start);
+    return first;
+  }();
+
+  std::printf("\nSample trace %llu (%zu spans, times relative to request "
+              "start):\n",
+              static_cast<unsigned long long>(trace_id), trace.size());
+  // Recursive indent by parentage; depth-first so children follow parents.
+  auto print_node = [&](auto&& self, std::uint32_t parent, int depth) -> void {
+    for (const obs::Span& s : trace) {
+      if (s.parent_id != parent) continue;
+      const std::string& label = o.label_name(s.label);
+      std::printf("%*s%s%s%s  [%.3f ms .. %.3f ms]  %.3f ms%s%s\n", depth * 2,
+                  "", obs::span_kind_name(s.kind), label.empty() ? "" : ":",
+                  label.c_str(), sim::to_seconds(s.start - t0) * 1e3,
+                  sim::to_seconds(s.end - t0) * 1e3,
+                  sim::to_seconds(s.duration()) * 1e3,
+                  s.server >= 0 ? ("  server=" + std::to_string(s.server)).c_str()
+                                : "",
+                  s.error ? "  ERROR" : "");
+      self(self, s.span_id, depth + 1);
+    }
+  };
+  // Roots of the trace: spans whose parent is not in the captured set (the
+  // ring may have evicted ancestors). Linear scans — traces are small.
+  for (const obs::Span& s : trace) {
+    bool has_parent = false;
+    for (const obs::Span& p : trace) {
+      if (p.span_id == s.parent_id) { has_parent = true; break; }
+    }
+    if (!has_parent) {
+      const std::string& label = o.label_name(s.label);
+      std::printf("%s%s%s  [%.3f ms .. %.3f ms]  %.3f ms%s\n",
+                  obs::span_kind_name(s.kind), label.empty() ? "" : ":",
+                  label.c_str(), sim::to_seconds(s.start - t0) * 1e3,
+                  sim::to_seconds(s.end - t0) * 1e3,
+                  sim::to_seconds(s.duration()) * 1e3,
+                  s.error ? "  ERROR" : "");
+      print_node(print_node, s.span_id, 1);
+    }
+  }
+}
+
+/// End-of-run export: breakdown tables on stdout, plus the full JSON dump
+/// when `--obs-json=` was given. Call once, after the sweep completes.
+inline void finish_obs(const ObsFlags& flags, const obs::Observer& o) {
+  if (!flags.enabled) return;
+  print_obs_layers(o);
+  print_obs_ops(o);
+  if (flags.json_path.empty()) return;
+  const std::string json = o.to_json();
+  if (flags.json_path == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(flags.json_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nObserver JSON written to %s\n", flags.json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 flags.json_path.c_str());
+  }
 }
 
 }  // namespace benchutil

@@ -20,6 +20,11 @@ run_config() {
   # Every chaos test carries a 60 s wall-clock budget (TIMEOUT property).
   echo "=== chaos ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L chaos
+  # The observability suite likewise re-runs by label: its byte-identical
+  # replay contract must hold in the sanitizer configuration too (ASan
+  # changes allocation patterns, which the obs layer must be immune to).
+  echo "=== obs ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L obs
 }
 
 run_tidy() {
@@ -40,6 +45,12 @@ run_tidy() {
     # shellcheck disable=SC2086
     clang-tidy -p "${dir}" --quiet ${srcs}
   fi
+  # The obs layer is the newest subsystem and its hot path is all pointer
+  # and lifetime discipline — hold it to a hard bugprone-* gate (warnings
+  # fail the build) rather than the advisory repo-wide pass above.
+  echo "=== clang-tidy hard gate: src/obs ==="
+  clang-tidy -p "${dir}" --quiet --warnings-as-errors='bugprone-*' \
+    src/obs/observer.cpp
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "azure/common/checksum.hpp"
+#include "obs/observer.hpp"
 
 namespace azure {
 namespace {
@@ -41,12 +42,14 @@ BlobService::BlobRuntime::BlobRuntime(sim::Simulation& sim,
 
 sim::Task<void> BlobService::metadata_op(netsim::Nic& client,
                                          std::uint64_t part_hash, bool write) {
+  obs::OpScope op(cluster_.simulation(), "blob.meta");
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.response_bytes = 256;
   cost.server_cpu = cfg_.metadata_cpu;
   cost.replicate = write;
   cost.disk_bytes = write ? 512 : 0;
+  op.stage();
   co_await cluster_.execute(client, part_hash, cost);
 }
 
@@ -146,7 +149,8 @@ sim::Task<int> BlobService::read_stream_acquire(BlobData& blob,
 sim::Task<void> BlobService::chunk_read(netsim::Nic& client, BlobData& blob,
                                         std::uint64_t part_hash,
                                         std::int64_t bytes,
-                                        sim::Duration extra_overhead) {
+                                        sim::Duration extra_overhead,
+                                        obs::TraceContext trace) {
   // The chunk occupies the serving replica's stream for the payload time
   // plus the per-chunk server work (index walk, range assembly).
   const double overhead_bytes =
@@ -158,6 +162,10 @@ sim::Task<void> BlobService::chunk_read(netsim::Nic& client, BlobData& blob,
   cost.response_bytes = bytes;
   cost.server_cpu = cfg_.read_cpu;
   cost.object_id = object_id(part_hash);
+  if (obs::Observer* const o = cluster_.simulation().observer();
+      o != nullptr) {
+    o->set_ambient(trace);
+  }
   const cluster::ExecResult r =
       co_await cluster_.execute(client, part_hash, cost);
   if (r.response_corrupted) {
@@ -172,6 +180,7 @@ sim::Task<void> BlobService::upload_block_blob(netsim::Nic& client,
                                                std::string container,
                                                std::string name,
                                                Payload data) {
+  obs::OpScope op(cluster_.simulation(), "blob.upload", data.size());
   if (data.size() > lim::kMaxSingleShotUploadBytes) {
     throw InvalidArgumentError(
         "block blobs over 64 MB must be uploaded as blocks");
@@ -189,6 +198,7 @@ sim::Task<void> BlobService::upload_block_blob(netsim::Nic& client,
   cost.replicate = true;
   cost.object_id = object_id(hash(container, name));
   cost.content_crc = new_crc;
+  op.stage();
   co_await cluster_.execute(client, hash(container, name), cost);
   blob.committed.clear();
   blob.committed_size = data.size();
@@ -204,6 +214,7 @@ sim::Task<void> BlobService::put_block(netsim::Nic& client,
                                        std::string name,
                                        std::string block_id,
                                        Payload data) {
+  obs::OpScope op(cluster_.simulation(), "blob.put_block", data.size());
   if (data.size() > lim::kMaxBlockBytes) {
     throw InvalidArgumentError("block exceeds 4 MB");
   }
@@ -226,12 +237,18 @@ sim::Task<void> BlobService::put_block(netsim::Nic& client,
   cost.replicate = true;
   cost.object_id = object_id(hash(container, name));
   cost.content_crc = new_crc;
+  op.stage();
   co_await cluster_.execute(client, hash(container, name), cost);
   {
     // Appending to the blob's block index is serialized per blob — this is
     // what caps concurrent PutBlock ingest below the page-blob path.
+    const sim::TimePoint commit_start = cluster_.simulation().now();
     auto lease = co_await blob.rt->block_index.acquire();
     co_await cluster_.simulation().delay(cfg_.block_commit_time);
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->emit(obs::SpanKind::kLogCommit, op.ctx(), commit_start,
+              cluster_.simulation().now(), o->label("blob.block_index"));
+    }
   }
   blob.uncommitted[block_id] = std::move(data);
   blob.content_crc = new_crc;
@@ -240,6 +257,7 @@ sim::Task<void> BlobService::put_block(netsim::Nic& client,
 sim::Task<void> BlobService::put_block_list(
     netsim::Nic& client, std::string container, std::string name,
     std::vector<std::string> block_ids) {
+  obs::OpScope op(cluster_.simulation(), "blob.put_block_list");
   if (static_cast<int>(block_ids.size()) > lim::kMaxBlocksPerBlob) {
     throw InvalidArgumentError("more than 50,000 blocks in block list");
   }
@@ -289,6 +307,8 @@ sim::Task<void> BlobService::put_block_list(
   cost.object_id = object_id(hash(container, name));
   cost.content_crc = new_crc;
   cost.object_bytes = total;
+  op.set_bytes(total);
+  op.stage();
   co_await cluster_.execute(client, hash(container, name), cost);
 
   blob.committed = std::move(new_committed);
@@ -301,30 +321,37 @@ sim::Task<void> BlobService::put_block_list(
 sim::Task<Payload> BlobService::get_block(netsim::Nic& client,
                                           std::string container,
                                           std::string name, int index) {
+  obs::OpScope op(cluster_.simulation(), "blob.get_block");
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
   if (index < 0 || index >= static_cast<int>(blob.committed.size())) {
     throw InvalidArgumentError("block index out of range");
   }
   const Payload data = blob.committed[static_cast<std::size_t>(index)].data;
+  op.set_bytes(data.size());
   co_await chunk_read(client, blob, hash(container, name), data.size(),
-                      cfg_.chunk_read_overhead);
+                      cfg_.chunk_read_overhead, op.ctx());
   co_return data;
 }
 
 sim::Task<Payload> BlobService::download_block_blob(
     netsim::Nic& client, std::string container,
     std::string name) {
+  obs::OpScope op(cluster_.simulation(), "blob.download");
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
   const std::int64_t total = blob.committed_size;
+  op.set_bytes(total);
   co_await read_stream_acquire(blob, static_cast<double>(total));
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.response_bytes = total;
   cost.server_cpu = cfg_.read_cpu;
   cost.object_id = object_id(hash(container, name));
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, hash(container, name), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
+    op.set_error();
     throw ChecksumMismatchError(
         "downloaded blob failed its Content-MD5 check");
   }
@@ -352,12 +379,13 @@ sim::Task<Payload> BlobService::download_range(netsim::Nic& client,
                                                std::string name,
                                                std::int64_t offset,
                                                std::int64_t length) {
+  obs::OpScope op(cluster_.simulation(), "blob.download_range", length);
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kBlock);
   if (offset < 0 || length <= 0 || offset + length > blob.committed_size) {
     throw InvalidArgumentError("range read outside committed content");
   }
   co_await chunk_read(client, blob, hash(container, name), length,
-                      cfg_.chunk_read_overhead);
+                      cfg_.chunk_read_overhead, op.ctx());
 
   // Assemble the range across committed block boundaries.
   bool any_real = false;
@@ -422,6 +450,7 @@ sim::Task<void> BlobService::put_page(netsim::Nic& client,
                                       std::string container,
                                       std::string name,
                                       std::int64_t offset, Payload data) {
+  obs::OpScope op(cluster_.simulation(), "blob.put_page", data.size());
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
   if (offset % lim::kPageAlignment != 0 ||
       data.size() % lim::kPageAlignment != 0) {
@@ -450,6 +479,7 @@ sim::Task<void> BlobService::put_page(netsim::Nic& client,
   cost.object_bytes = blob.page_extent > offset + data.size()
                           ? blob.page_extent
                           : offset + data.size();
+  op.stage();
   co_await cluster_.execute(client, hash(container, name), cost);
   blob.content_crc = new_crc;
 
@@ -494,13 +524,15 @@ sim::Task<Payload> BlobService::get_page(netsim::Nic& client,
                                          std::string name,
                                          std::int64_t offset,
                                          std::int64_t length, bool random) {
+  obs::OpScope op(cluster_.simulation(), "blob.get_page", length);
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
   if (offset < 0 || length <= 0 || offset + length > blob.page_max_size) {
     throw InvalidArgumentError("page read out of range");
   }
   const sim::Duration overhead =
       cfg_.chunk_read_overhead + (random ? cfg_.page_lookup_overhead : 0);
-  co_await chunk_read(client, blob, hash(container, name), length, overhead);
+  co_await chunk_read(client, blob, hash(container, name), length, overhead,
+                      op.ctx());
 
   // Assemble [offset, offset+length): zero-fill unwritten gaps.
   bool any_real = false;
@@ -534,8 +566,10 @@ sim::Task<Payload> BlobService::get_page(netsim::Nic& client,
 sim::Task<Payload> BlobService::download_page_blob(
     netsim::Nic& client, std::string container,
     std::string name) {
+  obs::OpScope op(cluster_.simulation(), "blob.download_page");
   BlobData& blob = require_blob(container, name, BlobProperties::Kind::kPage);
   const std::int64_t extent = blob.page_extent;
+  op.set_bytes(extent);
   const double effective =
       static_cast<double>(extent) / cfg_.page_stream_factor;
   co_await read_stream_acquire(blob, effective);
@@ -544,9 +578,12 @@ sim::Task<Payload> BlobService::download_page_blob(
   cost.response_bytes = extent;
   cost.server_cpu = cfg_.read_cpu;
   cost.object_id = object_id(hash(container, name));
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, hash(container, name), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
+    op.set_error();
     throw ChecksumMismatchError(
         "downloaded page blob failed its Content-MD5 check");
   }

@@ -26,6 +26,7 @@
 #include "cluster/hash.hpp"
 #include "cluster/storage_cluster.hpp"
 #include "netsim/nic.hpp"
+#include "obs/observer.hpp"
 #include "simcore/rate_limiter.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/task.hpp"
@@ -242,9 +243,12 @@ class BlobService {
 
   /// Chunk-wise read core shared by get_block/get_page. Throws
   /// ChecksumMismatchError when the response payload arrived corrupt.
+  /// `trace` is the calling operation's span context (chunk reads suspend
+  /// before reaching the cluster, so the ambient slot cannot carry it).
   sim::Task<void> chunk_read(netsim::Nic& client, BlobData& blob,
                              std::uint64_t part_hash, std::int64_t bytes,
-                             sim::Duration extra_overhead);
+                             sim::Duration extra_overhead,
+                             obs::TraceContext trace = {});
 
   /// Simple metadata request (create/delete/exists/list).
   sim::Task<void> metadata_op(netsim::Nic& client, std::uint64_t part_hash,

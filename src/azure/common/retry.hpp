@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "azure/common/errors.hpp"
+#include "obs/observer.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
@@ -69,6 +70,15 @@ struct RetryPolicy {
     return p;
   }
 
+  /// Whether an error of a class with retryability `class_retryable`,
+  /// caught after `retries` completed retries (i.e. on attempt
+  /// `retries + 1`), must be rethrown instead of retried. Centralizes the
+  /// attempt-budget boundary: with max_attempts == N, exactly N attempts
+  /// run — the first try plus N - 1 retries.
+  bool gives_up(bool class_retryable, int retries) const noexcept {
+    return !class_retryable || retries + 1 >= max_attempts;
+  }
+
   /// Backoff before retry number `retry` (0-based). Pure function of the
   /// policy and the retry index.
   sim::Duration backoff_for(int retry) const {
@@ -112,30 +122,53 @@ struct RetryPolicy {
 /// retrying transient errors according to `policy` and counting retries
 /// into `retries_out`. Non-retryable errors propagate immediately; the
 /// transient error is rethrown once attempts run out.
+namespace detail {
+/// Error-class labels interned on first use (tracing only).
+inline std::uint16_t error_label(obs::Observer* o, const char* name) {
+  return o != nullptr ? o->label(name) : 0;
+}
+}  // namespace detail
+
 template <class MakeOp>
 auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
                         RetryPolicy policy, std::int64_t& retries_out)
     -> decltype(make_op()) {
+  obs::RequestScope request(sim);  // root span over all attempts
+  obs::Observer* const o = request.observer();
   int retries = 0;
   for (;;) {
     // co_await is not permitted inside a catch handler, so record the need
     // to back off and do it after the handler exits.
     bool backoff = false;
+    std::uint16_t error_class = 0;
+    request.count_attempt();
+    if (o != nullptr) {
+      o->metrics().counter("retry.attempts").add(1);
+      // Stage this request's context for the service op about to start; it
+      // claims the slot synchronously on entry (or an unwinding scope
+      // clears it), so it cannot leak to another request.
+      o->set_ambient(request.ctx());
+    }
     try {
       co_return co_await make_op();
     } catch (const ServerBusyError&) {
-      if (!policy.retry_server_busy || retries + 1 >= policy.max_attempts) {
+      error_class = detail::error_label(o, "server_busy");
+      if (policy.gives_up(policy.retry_server_busy, retries)) {
+        request.fail(error_class);
         throw;
       }
       backoff = true;
     } catch (const TimeoutError&) {
-      if (!policy.retry_timeouts || retries + 1 >= policy.max_attempts) {
+      error_class = detail::error_label(o, "timeout");
+      if (policy.gives_up(policy.retry_timeouts, retries)) {
+        request.fail(error_class);
         throw;
       }
       backoff = true;
     } catch (const ConnectionResetError&) {
-      if (!policy.retry_connection_resets ||
-          retries + 1 >= policy.max_attempts) {
+      error_class = detail::error_label(o, "connection_reset");
+      if (policy.gives_up(policy.retry_connection_resets, retries)) {
+        request.fail(error_class);
         throw;
       }
       backoff = true;
@@ -143,15 +176,22 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       // Corruption in flight: the upload was rejected before any state was
       // touched, or the download's end-to-end checksum failed client-side.
       // Either way the operation is safe to repeat verbatim.
-      if (!policy.retry_checksum_mismatch ||
-          retries + 1 >= policy.max_attempts) {
+      error_class = detail::error_label(o, "checksum_mismatch");
+      if (policy.gives_up(policy.retry_checksum_mismatch, retries)) {
+        request.fail(error_class);
         throw;
       }
       backoff = true;
     }
     if (backoff) {
       ++retries_out;
+      const sim::TimePoint backoff_start = sim.now();
       co_await sim.delay(policy.backoff_for(retries++));
+      if (o != nullptr) {
+        o->metrics().counter("retry.backoffs").add(1);
+        o->emit(obs::SpanKind::kRetryBackoff, request.ctx(), backoff_start,
+                sim.now(), error_class);
+      }
     }
   }
 }

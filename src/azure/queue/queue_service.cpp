@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "azure/common/checksum.hpp"
+#include "obs/observer.hpp"
 
 namespace azure {
 namespace lim = azure::limits;
@@ -45,13 +46,21 @@ void QueueService::admit(QueueData& q, std::string name) {
 
 void QueueService::expire(QueueData& q) {
   const sim::TimePoint now = cluster_.simulation().now();
+  // A message's TTL is a guaranteed lifetime: Azure computes ExpirationTime
+  // = insertion + TTL and the message stays retrievable *through* that
+  // instant — only strictly-later probes sweep it. `<= now` here would
+  // silently drop a message whose TTL lapses exactly at the probe.
   std::erase_if(q.messages, [now](const StoredMessage& m) {
-    return m.expiration_time <= now;
+    return m.expiration_time < now;
   });
 }
 
 std::size_t QueueService::pick_visible(QueueData& q) {
   const sim::TimePoint now = cluster_.simulation().now();
+  // `visible_from <= now` is the correct boundary: visible_from models
+  // Azure's TimeNextVisible — the instant the message *becomes* visible —
+  // so a consumer probing exactly then must see it (audited alongside the
+  // expiry boundary above; tests lock both edges in).
   std::size_t first = q.messages.size();
   std::size_t second = q.messages.size();
   for (std::size_t i = 0; i < q.messages.size(); ++i) {
@@ -75,12 +84,14 @@ std::size_t QueueService::pick_visible(QueueData& q) {
 sim::Task<void> QueueService::metadata_op(netsim::Nic& client,
                                           std::uint64_t part_hash,
                                           bool write) {
+  obs::OpScope op(cluster_.simulation(), "queue.meta");
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.response_bytes = 256;
   cost.server_cpu = sim::micros(300);
   cost.replicate = write;
   cost.disk_bytes = write ? 512 : 0;
+  op.stage();
   co_await cluster_.execute(client, part_hash, cost);
 }
 
@@ -126,6 +137,7 @@ sim::Task<void> QueueService::clear_queue(netsim::Nic& client,
 sim::Task<void> QueueService::put_message(netsim::Nic& client,
                                           std::string name,
                                           Payload body, sim::Duration ttl) {
+  obs::OpScope op(cluster_.simulation(), "queue.put");
   if (body.size() > lim::kMaxMessagePayloadBytes) {
     throw InvalidArgumentError(
         "message payload exceeds 49,152 usable bytes (64 KB encoded)");
@@ -142,11 +154,18 @@ sim::Task<void> QueueService::put_message(netsim::Nic& client,
   cost.replicate = true;  // inserts synchronize across the 3 replicas
   cost.object_id = oid;
   cost.content_crc = next_state_crc(q, oid);
+  op.set_bytes(wire);
+  op.stage();
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
   ++q.mutation_serial;
   {
+    const sim::TimePoint commit_start = cluster_.simulation().now();
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.put_commit_time);
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->emit(obs::SpanKind::kLogCommit, op.ctx(), commit_start,
+              cluster_.simulation().now(), o->label("queue.put"));
+    }
   }
 
   const sim::TimePoint now = cluster_.simulation().now();
@@ -166,6 +185,7 @@ sim::Task<void> QueueService::put_message(netsim::Nic& client,
 sim::Task<std::optional<QueueMessage>> QueueService::get_message(
     netsim::Nic& client, std::string name,
     sim::Duration visibility_timeout) {
+  obs::OpScope op(cluster_.simulation(), "queue.get");
   QueueData& q = require_queue(name);
   admit(q, name);
 
@@ -206,18 +226,27 @@ sim::Task<std::optional<QueueMessage>> QueueService::get_message(
   cost.replicate = probably_found;  // visibility state must reach all copies
   cost.object_id = oid;
   if (probably_found) cost.content_crc = next_state_crc(q, oid);
+  op.set_bytes(wire);
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
     // The message body failed its end-to-end check client-side. The claim
     // below never happens, so the message stays hidden until its visibility
     // timeout expires and is redelivered intact.
+    op.set_error();
     throw ChecksumMismatchError("GetMessage response failed checksum");
   }
   if (probably_found) {
     ++q.mutation_serial;
+    const sim::TimePoint commit_start = cluster_.simulation().now();
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.get_commit_time);
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->emit(obs::SpanKind::kLogCommit, op.ctx(), commit_start,
+              cluster_.simulation().now(), o->label("queue.get"));
+    }
   }
 
   // Atomic claim (no suspension points from here to the state change).
@@ -231,7 +260,12 @@ sim::Task<std::optional<QueueMessage>> QueueService::get_message(
                                 : cfg_.default_visibility_timeout;
   m.visible_from = now + vis;
   ++m.dequeue_count;
-  if (m.dequeue_count > 1) ++redeliveries_;
+  if (m.dequeue_count > 1) {
+    ++redeliveries_;
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->metrics().counter("queue.redeliveries").add(1);
+    }
+  }
   m.receipt_serial = next_receipt_++;
 
   QueueMessage out;
@@ -246,6 +280,7 @@ sim::Task<std::optional<QueueMessage>> QueueService::get_message(
 
 sim::Task<std::optional<QueueMessage>> QueueService::peek_message(
     netsim::Nic& client, std::string name) {
+  obs::OpScope op(cluster_.simulation(), "queue.peek");
   QueueData& q = require_queue(name);
   admit(q, name);
 
@@ -265,9 +300,13 @@ sim::Task<std::optional<QueueMessage>> QueueService::peek_message(
   cost.server_cpu = cfg_.peek_cpu;
   cost.replicate = false;  // pure read: no server-side synchronization
   cost.object_id = object_id(cluster::partition_hash(name));
+  op.set_bytes(wire);
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
+    op.set_error();
     throw ChecksumMismatchError("PeekMessage response failed checksum");
   }
 
@@ -289,6 +328,7 @@ sim::Task<void> QueueService::delete_message(netsim::Nic& client,
                                              std::string name,
                                              std::uint64_t id,
                                              std::string pop_receipt) {
+  obs::OpScope op(cluster_.simulation(), "queue.delete");
   QueueData& q = require_queue(name);
   admit(q, name);
 
@@ -300,11 +340,17 @@ sim::Task<void> QueueService::delete_message(netsim::Nic& client,
   cost.replicate = true;
   cost.object_id = oid;
   cost.content_crc = next_state_crc(q, oid);
+  op.stage();
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
   ++q.mutation_serial;
   {
+    const sim::TimePoint commit_start = cluster_.simulation().now();
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.delete_commit_time);
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->emit(obs::SpanKind::kLogCommit, op.ctx(), commit_start,
+              cluster_.simulation().now(), o->label("queue.delete"));
+    }
   }
 
   auto it = std::find_if(q.messages.begin(), q.messages.end(),
@@ -323,6 +369,7 @@ sim::Task<QueueMessage> QueueService::update_message(
     netsim::Nic& client, std::string name, std::uint64_t id,
     std::string pop_receipt, sim::Duration visibility_timeout,
     std::optional<Payload> new_body) {
+  obs::OpScope op(cluster_.simulation(), "queue.update");
   if (new_body && new_body->size() > lim::kMaxMessagePayloadBytes) {
     throw InvalidArgumentError(
         "message payload exceeds 49,152 usable bytes (64 KB encoded)");
@@ -340,11 +387,18 @@ sim::Task<QueueMessage> QueueService::update_message(
   cost.replicate = true;  // visibility/content change reaches all copies
   cost.object_id = oid;
   cost.content_crc = next_state_crc(q, oid);
+  op.set_bytes(wire);
+  op.stage();
   co_await cluster_.execute(client, cluster::partition_hash(name), cost);
   ++q.mutation_serial;
   {
+    const sim::TimePoint commit_start = cluster_.simulation().now();
     auto lock = co_await q.commit_lock.acquire();
     co_await cluster_.simulation().delay(cfg_.put_commit_time);
+    if (obs::Observer* const o = op.observer(); o != nullptr) {
+      o->emit(obs::SpanKind::kLogCommit, op.ctx(), commit_start,
+              cluster_.simulation().now(), o->label("queue.update"));
+    }
   }
 
   auto it = std::find_if(q.messages.begin(), q.messages.end(),
@@ -372,6 +426,7 @@ sim::Task<QueueMessage> QueueService::update_message(
 
 sim::Task<std::int64_t> QueueService::get_message_count(
     netsim::Nic& client, std::string name) {
+  obs::OpScope op(cluster_.simulation(), "queue.count");
   QueueData& q = require_queue(name);
   admit(q, name);
   cluster::RequestCost cost;
@@ -379,9 +434,12 @@ sim::Task<std::int64_t> QueueService::get_message_count(
   cost.response_bytes = 256;
   cost.server_cpu = sim::micros(500);
   cost.object_id = object_id(cluster::partition_hash(name));
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, cluster::partition_hash(name), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
+    op.set_error();
     throw ChecksumMismatchError("GetMessageCount response failed checksum");
   }
   expire(q);

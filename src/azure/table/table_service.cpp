@@ -4,6 +4,7 @@
 #include <set>
 
 #include "azure/common/checksum.hpp"
+#include "obs/observer.hpp"
 
 namespace azure {
 namespace lim = azure::limits;
@@ -127,12 +128,14 @@ sim::Task<void> TableService::journal_write(std::string table,
 sim::Task<void> TableService::metadata_op(netsim::Nic& client,
                                           std::uint64_t part_hash,
                                           bool write) {
+  obs::OpScope op(cluster_.simulation(), "table.meta");
   cluster::RequestCost cost;
   cost.request_bytes = 256;
   cost.response_bytes = 256;
   cost.server_cpu = sim::micros(300);
   cost.replicate = write;
   cost.disk_bytes = write ? 512 : 0;
+  op.stage();
   co_await cluster_.execute(client, part_hash, cost);
 }
 
@@ -171,11 +174,13 @@ sim::Task<bool> TableService::table_exists(netsim::Nic& client,
 sim::Task<void> TableService::insert(netsim::Nic& client,
                                      std::string table,
                                      TableEntity entity) {
+  obs::OpScope op(cluster_.simulation(), "table.insert");
   validate_entity(entity);
   TableData& t = require_table(table);
   admit(t, table, entity.partition_key);
 
   const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  op.set_bytes(wire);
   co_await journal_write(table, entity.partition_key, wire);
   cluster::RequestCost cost;
   cost.request_bytes = wire;
@@ -185,6 +190,7 @@ sim::Task<void> TableService::insert(netsim::Nic& client,
   cost.object_id =
       entity_object_id(hash(table, entity.partition_key), entity.row_key);
   cost.content_crc = entity_crc(entity);
+  op.stage();
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   Key key{entity.partition_key, entity.row_key};
@@ -201,6 +207,7 @@ sim::Task<TableEntity> TableService::query(netsim::Nic& client,
                                            std::string table,
                                            std::string partition_key,
                                            std::string row_key) {
+  obs::OpScope op(cluster_.simulation(), "table.query");
   TableData& t = require_table(table);
   admit(t, table, partition_key);
 
@@ -208,14 +215,18 @@ sim::Task<TableEntity> TableService::query(netsim::Nic& client,
   const std::int64_t wire =
       (it != t.entities.end() ? it->second.size() : 0) +
       cfg_.entity_envelope_bytes;
+  op.set_bytes(wire);
   cluster::RequestCost cost;
   cost.request_bytes = 512;
   cost.response_bytes = wire;
   cost.server_cpu = cfg_.query_cpu;
   cost.object_id = entity_object_id(hash(table, partition_key), row_key);
+  op.stage();
   const cluster::ExecResult r =
       co_await cluster_.execute(client, hash(table, partition_key), cost);
+  op.set_server(r.served_by);
   if (r.response_corrupted) {
+    op.set_error();
     throw ChecksumMismatchError("queried entity failed its checksum");
   }
 
@@ -228,6 +239,7 @@ sim::Task<TableEntity> TableService::query(netsim::Nic& client,
 sim::Task<std::vector<TableEntity>> TableService::query_partition(
     netsim::Nic& client, std::string table,
     std::string partition_key) {
+  obs::OpScope op(cluster_.simulation(), "table.query_partition");
   TableData& t = require_table(table);
   admit(t, table, partition_key);
 
@@ -247,6 +259,8 @@ sim::Task<std::vector<TableEntity>> TableService::query_partition(
   cost.response_bytes = wire;
   cost.server_cpu =
       cfg_.query_cpu + static_cast<sim::Duration>(out.size()) * sim::micros(50);
+  op.set_bytes(wire);
+  op.stage();
   co_await cluster_.execute(client, hash(table, partition_key), cost);
   co_return out;
 }
@@ -255,11 +269,13 @@ sim::Task<void> TableService::update(netsim::Nic& client,
                                      std::string table,
                                      TableEntity entity,
                                      std::string if_match) {
+  obs::OpScope op(cluster_.simulation(), "table.update");
   validate_entity(entity);
   TableData& t = require_table(table);
   admit(t, table, entity.partition_key);
 
   const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  op.set_bytes(wire);
   co_await journal_write(table, entity.partition_key, wire);
   cluster::RequestCost cost;
   cost.request_bytes = wire;
@@ -269,6 +285,7 @@ sim::Task<void> TableService::update(netsim::Nic& client,
   cost.object_id =
       entity_object_id(hash(table, entity.partition_key), entity.row_key);
   cost.content_crc = entity_crc(entity);
+  op.stage();
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
@@ -287,11 +304,13 @@ sim::Task<void> TableService::update(netsim::Nic& client,
 sim::Task<void> TableService::insert_or_replace(netsim::Nic& client,
                                                 std::string table,
                                                 TableEntity entity) {
+  obs::OpScope op(cluster_.simulation(), "table.insert_or_replace");
   validate_entity(entity);
   TableData& t = require_table(table);
   admit(t, table, entity.partition_key);
 
   const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  op.set_bytes(wire);
   co_await journal_write(table, entity.partition_key, wire);
   cluster::RequestCost cost;
   cost.request_bytes = wire;
@@ -301,6 +320,7 @@ sim::Task<void> TableService::insert_or_replace(netsim::Nic& client,
   cost.object_id =
       entity_object_id(hash(table, entity.partition_key), entity.row_key);
   cost.content_crc = entity_crc(entity);
+  op.stage();
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   entity.etag = next_etag();
@@ -313,11 +333,13 @@ sim::Task<void> TableService::merge(netsim::Nic& client,
                                     std::string table,
                                     TableEntity entity,
                                     std::string if_match) {
+  obs::OpScope op(cluster_.simulation(), "table.merge");
   validate_entity(entity);
   TableData& t = require_table(table);
   admit(t, table, entity.partition_key);
 
   const std::int64_t wire = entity.size() + cfg_.entity_envelope_bytes;
+  op.set_bytes(wire);
   co_await journal_write(table, entity.partition_key, wire);
   // The merged result's checksum versions the entity; compute the candidate
   // from the current state (precondition checks re-run after the awaits).
@@ -338,6 +360,7 @@ sim::Task<void> TableService::merge(netsim::Nic& client,
   cost.object_id =
       entity_object_id(hash(table, entity.partition_key), entity.row_key);
   cost.content_crc = merged_crc;
+  op.stage();
   co_await cluster_.execute(client, hash(table, entity.partition_key), cost);
 
   auto it = t.entities.find(Key{entity.partition_key, entity.row_key});
@@ -362,6 +385,7 @@ sim::Task<void> TableService::erase(netsim::Nic& client,
                                     std::string partition_key,
                                     std::string row_key,
                                     std::string if_match) {
+  obs::OpScope op(cluster_.simulation(), "table.delete");
   TableData& t = require_table(table);
   admit(t, table, partition_key);
 
@@ -373,6 +397,7 @@ sim::Task<void> TableService::erase(netsim::Nic& client,
   cost.replicate = true;
   cost.object_id = entity_object_id(hash(table, partition_key), row_key);
   cost.content_crc = 0;  // tombstone version
+  op.stage();
   co_await cluster_.execute(client, hash(table, partition_key), cost);
 
   auto it = t.entities.find(Key{partition_key, row_key});
@@ -388,6 +413,7 @@ sim::Task<void> TableService::erase(netsim::Nic& client,
 sim::Task<void> TableService::execute_batch(netsim::Nic& client,
                                             std::string table,
                                             TableBatch batch) {
+  obs::OpScope batch_scope(cluster_.simulation(), "table.batch");
   using OpKind = TableBatch::OpKind;
   if (batch.empty()) {
     throw InvalidArgumentError("batch must contain at least one operation");
@@ -439,6 +465,8 @@ sim::Task<void> TableService::execute_batch(netsim::Nic& client,
       cfg_.insert_cpu +
       static_cast<sim::Duration>(batch.size()) * sim::millis(1);
   cost.replicate = true;
+  batch_scope.set_bytes(total_wire);
+  batch_scope.stage();
   co_await cluster_.execute(client, hash(table, pk), cost);
 
   // Atomic commit: first verify every precondition against the current

@@ -8,6 +8,7 @@
 
 #include "cluster/config.hpp"
 #include "netsim/nic.hpp"
+#include "obs/observer.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/stats.hpp"
@@ -51,8 +52,20 @@ class PartitionServer {
 
   /// Occupies one executor, then pays fixed processing plus extra CPU time
   /// plus disk occupancy for `disk_bytes`.
-  sim::Task<void> process(sim::Duration cpu, std::int64_t disk_bytes) {
+  sim::Task<void> process(sim::Duration cpu, std::int64_t disk_bytes,
+                          obs::TraceContext trace = {}) {
+    const sim::TimePoint enqueued = sim_.now();
     auto lease = co_await executors_.acquire();
+    if (obs::Observer* const o = sim_.observer(); o != nullptr) {
+      const sim::Duration waited = sim_.now() - enqueued;
+      o->metrics().histogram("server.exec_queue_ns").record(waited);
+      if (waited > 0) {
+        // Only contended acquisitions leave a span; the histogram above
+        // still records every request (zeros included).
+        o->emit(obs::SpanKind::kExecutorQueue, trace, enqueued, sim_.now(),
+                0, index_);
+      }
+    }
     co_await sim_.delay(cfg_.request_overhead + cpu);
     if (disk_bytes > 0) {
       co_await disk_.acquire(static_cast<double>(disk_bytes));
@@ -63,13 +76,20 @@ class PartitionServer {
 
   /// Models this server acting as a replica: receive the payload on the NIC,
   /// append to the local disk, ack after the commit latency.
-  sim::Task<void> replica_commit(std::int64_t bytes) {
+  sim::Task<void> replica_commit(std::int64_t bytes,
+                                 obs::TraceContext trace = {}) {
+    const sim::TimePoint started = sim_.now();
     if (bytes > 0) {
       co_await nic_.receive(bytes);
       co_await disk_.acquire(static_cast<double>(bytes));
     }
     co_await sim_.delay(cfg_.replica_commit_latency);
     ++replica_commits_;
+    if (obs::Observer* const o = sim_.observer(); o != nullptr) {
+      o->metrics().counter("cluster.replica_commits").add(1);
+      o->emit(obs::SpanKind::kReplicaCommit, trace, started, sim_.now(), 0,
+              index_, bytes);
+    }
   }
 
   std::int64_t requests() const noexcept { return requests_; }

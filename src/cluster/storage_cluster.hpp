@@ -15,6 +15,7 @@
 #include "faults/fault_plan.hpp"
 #include "netsim/network.hpp"
 #include "netsim/nic.hpp"
+#include "obs/observer.hpp"
 #include "simcore/rate_limiter.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/sync.hpp"
@@ -132,27 +133,52 @@ class StorageCluster {
   sim::Task<ExecResult> execute(netsim::Nic& client,
                                 std::uint64_t partition_hash,
                                 RequestCost cost) {
+    // Claim the context the service layer staged for this request (empty
+    // when tracing is off or the caller is untraced). Must be the first
+    // statement: lazy Tasks run synchronously up to their first suspension,
+    // so nothing can interleave between the caller's set and this take.
+    obs::Observer* const o = sim_.observer();
+    obs::TraceContext trace{};
+    if (o != nullptr) trace = o->take_ambient();
+
     if (cost.counts_as_transaction) {
+      const sim::TimePoint admission_start = sim_.now();
+      bool throttled = false;
       while (!account_tx_.try_consume()) {
         if (cfg_.throttle_mode == ThrottleMode::kReject) {
+          if (o != nullptr) {
+            o->metrics().counter("cluster.throttle_rejects").add(1);
+          }
           throw ServerBusyError(
               "account transaction target exceeded (5,000 tx/s)");
         }
         // Ablation mode: wait for the next admission window instead of
         // rejecting.
+        throttled = true;
         co_await sim_.delay_until(
             (sim_.now() / sim::kSecond + 1) * sim::kSecond);
       }
+      if (o != nullptr && throttled) {
+        o->emit(obs::SpanKind::kThrottleWait, trace, admission_start,
+                sim_.now(), o->label("account.tx"));
+      }
     }
     ++total_requests_;
+    if (o != nullptr) o->metrics().counter("cluster.requests").add(1);
 
     const int home = server_index(partition_hash);
     PartitionServer* primary = &server(home);
     if (faults_ != nullptr && !primary->up()) {
       // The partition map reassigns the range to the next healthy server;
       // the client pays the re-route before reaching it.
+      const sim::TimePoint reroute_start = sim_.now();
       primary = &failover_target(*primary);
       co_await sim_.delay(faults_->config().failover_latency);
+      if (o != nullptr) {
+        o->metrics().counter("cluster.failovers").add(1);
+        o->emit(obs::SpanKind::kFailover, trace, reroute_start, sim_.now(),
+                0, primary->index());
+      }
     }
 
     // Integrity bookkeeping is engaged only for tracked requests under an
@@ -170,11 +196,21 @@ class StorageCluster {
     // Request path: client uplink -> account ingress shaping -> front-end ->
     // primary NIC.
     if (cost.request_bytes > 0) {
+      const sim::TimePoint shaping_start = sim_.now();
       co_await account_ingress_.acquire(
           static_cast<double>(cost.request_bytes));
+      if (o != nullptr && sim_.now() > shaping_start) {
+        o->emit(obs::SpanKind::kThrottleWait, trace, shaping_start,
+                sim_.now(), o->label("account.ingress"), -1,
+                cost.request_bytes);
+      }
     }
     const bool request_corrupted = co_await network_.transfer_checked(
-        client, primary->nic(), cost.request_bytes);
+        client, primary->nic(), cost.request_bytes, trace);
+
+    // Server span: front-end validation + executor + CPU + disk.
+    obs::SpanHandle server_span{};
+    if (o != nullptr) server_span = o->begin(trace, sim_.now());
     co_await sim_.delay(cfg_.frontend_latency);
 
     // The front-end validates the upload's checksum before any state is
@@ -183,13 +219,23 @@ class StorageCluster {
     if (request_corrupted && tracked_write) {
       ++request_checksum_rejects_;
       faults_->record(faults::FaultKind::kChecksumMismatch, primary->index());
+      if (o != nullptr) {
+        o->metrics().counter("cluster.checksum_rejects").add(1);
+        o->end(server_span, obs::SpanKind::kServerProcess, 0,
+               primary->index(), 0, /*error=*/true, sim_.now());
+      }
       throw ChecksumMismatchError(
           "request payload failed checksum validation at partition server " +
           std::to_string(primary->index()));
     }
 
     // Server-side processing (executor + CPU + disk).
-    co_await primary->process(cost.server_cpu, cost.disk_bytes);
+    co_await primary->process(cost.server_cpu, cost.disk_bytes,
+                              server_span.ctx);
+    if (o != nullptr) {
+      o->end(server_span, obs::SpanKind::kServerProcess, 0, primary->index(),
+             cost.disk_bytes, /*error=*/false, sim_.now());
+    }
 
     // Read-path replica verification: the serving server re-checksums its
     // local copy. On mismatch (torn write, stale or divergent generation)
@@ -206,7 +252,13 @@ class StorageCluster {
                                  : faults::FaultKind::kReplicaDivergence,
                         store_.server_of(*entry, serve));
         ++read_mismatches_;
+        const sim::TimePoint verify_failover_start = sim_.now();
         co_await sim_.delay(faults_->config().failover_latency);
+        if (o != nullptr) {
+          o->metrics().counter("cluster.read_mismatches").add(1);
+          o->emit(obs::SpanKind::kFailover, trace, verify_failover_start,
+                  sim_.now(), o->label("read.verify"), primary->index());
+        }
         for (int r = 0; r < store_.replicas_per_object(); ++r) {
           if (!entry->replica_good(r)) {
             sim_.spawn(repair_replica(*entry, r, /*scrub=*/false),
@@ -219,12 +271,24 @@ class StorageCluster {
     // Synchronous replication: payload flows from the primary to each of the
     // other replicas in parallel; the request acks when the slowest commits.
     std::uint64_t attempt_gen = 0;
+    const bool will_replicate =
+        (tracked_write && entry != nullptr) ||
+        (cost.replicate && cfg_.replicas > 1);
+    obs::SpanHandle replication_span{};
+    if (o != nullptr && will_replicate) {
+      replication_span = o->begin(trace, sim_.now());
+    }
     if (tracked_write && entry != nullptr) {
       entry->next_gen = std::max(entry->next_gen, entry->committed_gen) + 1;
       attempt_gen = entry->next_gen;
-      co_await replicate_tracked(*primary, *entry, cost, attempt_gen);
+      co_await replicate_tracked(*primary, *entry, cost, attempt_gen,
+                                 replication_span.ctx);
     } else if (cost.replicate && cfg_.replicas > 1) {
-      co_await replicate(*primary, cost.disk_bytes);
+      co_await replicate(*primary, cost.disk_bytes, replication_span.ctx);
+    }
+    if (o != nullptr && will_replicate) {
+      o->end(replication_span, obs::SpanKind::kReplication, 0,
+             primary->index(), cost.disk_bytes, /*error=*/false, sim_.now());
     }
 
     // A crash while the request was being served kills the connection: the
@@ -249,6 +313,9 @@ class StorageCluster {
             rep.torn = false;
           }
         }
+      }
+      if (o != nullptr) {
+        o->metrics().counter("cluster.connection_resets").add(1);
       }
       throw ConnectionResetError("partition server " +
                                  std::to_string(primary->index()) +
@@ -278,11 +345,17 @@ class StorageCluster {
 
     // Response path mirrors the request path.
     if (cost.response_bytes > 0) {
+      const sim::TimePoint shaping_start = sim_.now();
       co_await account_egress_.acquire(
           static_cast<double>(cost.response_bytes));
+      if (o != nullptr && sim_.now() > shaping_start) {
+        o->emit(obs::SpanKind::kThrottleWait, trace, shaping_start,
+                sim_.now(), o->label("account.egress"), -1,
+                cost.response_bytes);
+      }
     }
     const bool response_corrupted = co_await network_.transfer_checked(
-        primary->nic(), client, cost.response_bytes);
+        primary->nic(), client, cost.response_bytes, trace);
 
     ExecResult result;
     result.served_by = primary->index();
@@ -371,21 +444,23 @@ class StorageCluster {
   }
 
  private:
-  sim::Task<void> replicate(PartitionServer& primary, std::int64_t bytes) {
+  sim::Task<void> replicate(PartitionServer& primary, std::int64_t bytes,
+                            obs::TraceContext trace = {}) {
     sim::WaitGroup wg(sim_);
     const int fanout = cfg_.replicas - 1;
     for (int k = 1; k <= fanout; ++k) {
       PartitionServer& replica =
           server((primary.index() + k) % cfg_.partition_servers);
       wg.add();
-      sim_.spawn(replica_send(primary, replica, bytes, wg));
+      sim_.spawn(replica_send(primary, replica, bytes, wg, trace));
     }
     co_await wg.wait();
   }
 
   sim::Task<void> replica_send(PartitionServer& primary,
                                PartitionServer& replica, std::int64_t bytes,
-                               sim::WaitGroup& wg) {
+                               sim::WaitGroup& wg,
+                               obs::TraceContext trace = {}) {
     if (faults_ != nullptr && !replica.up()) {
       // A down replica does not block the commit: the stream layer seals
       // its extent and re-routes the append to a healthy extent node, for
@@ -397,7 +472,7 @@ class StorageCluster {
     }
     if (bytes > 0) co_await primary.nic().send(bytes);
     co_await sim_.delay(network_.config().propagation);
-    co_await replica.replica_commit(bytes);
+    co_await replica.replica_commit(bytes, trace);
     wg.done();
   }
 
@@ -409,13 +484,15 @@ class StorageCluster {
   sim::Task<void> replicate_tracked(PartitionServer& primary,
                                     ReplicaStore::Entry& entry,
                                     const RequestCost& cost,
-                                    std::uint64_t attempt_gen) {
+                                    std::uint64_t attempt_gen,
+                                    obs::TraceContext trace = {}) {
     sim::WaitGroup wg(sim_);
     for (int r = 0; r < store_.replicas_per_object(); ++r) {
       if (store_.server_of(entry, r) == primary.index()) continue;
       wg.add();
       sim_.spawn(replica_send_tracked(primary, entry, r, cost.disk_bytes,
-                                      attempt_gen, cost.content_crc, wg));
+                                      attempt_gen, cost.content_crc, wg,
+                                      trace));
     }
     co_await wg.wait();
   }
@@ -424,7 +501,8 @@ class StorageCluster {
                                        ReplicaStore::Entry& entry, int r,
                                        std::int64_t bytes,
                                        std::uint64_t attempt_gen,
-                                       std::uint32_t crc, sim::WaitGroup& wg) {
+                                       std::uint32_t crc, sim::WaitGroup& wg,
+                                       obs::TraceContext trace = {}) {
     PartitionServer& target = server(store_.server_of(entry, r));
     if (!target.up()) {
       // Stream-layer re-route (see replica_send); this copy stays on its old
@@ -436,7 +514,7 @@ class StorageCluster {
     }
     if (bytes > 0) co_await primary.nic().send(bytes);
     co_await sim_.delay(network_.config().propagation);
-    co_await target.replica_commit(bytes);
+    co_await target.replica_commit(bytes, trace);
     auto& rep = entry.replicas[static_cast<std::size_t>(r)];
     if (rep.gen > attempt_gen) {
       // A concurrent later write already landed here; don't regress.

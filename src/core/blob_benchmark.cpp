@@ -171,6 +171,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
 
 BlobBenchResult run_blob_benchmark(const BlobBenchConfig& cfg) {
   sim::Simulation simulation;
+  if (cfg.observer != nullptr) simulation.set_observer(cfg.observer);
   azure::CloudEnvironment env(simulation, cfg.cloud);
   fabric::Deployment deployment(env);
   deployment.add_worker_roles(cfg.workers, cfg.vm);

@@ -13,6 +13,10 @@
 #include "core/collector.hpp"
 #include "fabric/vm_size.hpp"
 
+namespace obs {
+class Observer;
+}
+
 namespace azurebench {
 
 struct BlobBenchConfig {
@@ -25,6 +29,10 @@ struct BlobBenchConfig {
   fabric::VmSize vm = fabric::VmSize::kSmall;
   azure::CloudConfig cloud;
   std::uint64_t seed = 42;
+  /// Optional observability sink attached to the run's Simulation. Null
+  /// (the default) leaves every instrumentation point inert, so paper-mode
+  /// event sequences are untouched.
+  obs::Observer* observer = nullptr;
 };
 
 struct BlobBenchResult {

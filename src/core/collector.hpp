@@ -25,8 +25,12 @@ class PhaseCollector {
               sim::TimePoint end) {
     auto& longest = spans_[{phase, repeat}];
     longest = std::max(longest, end - start);
-    // Per-worker busy time (for Fig. 9's per-operation averages).
-    busy_[phase] += end - start;
+    // Per-worker busy time (for Fig. 9's per-operation averages). The first
+    // record of a phase also fixes its position in phases(): benchmarks
+    // print phases in execution order, not lexicographically.
+    auto [it, inserted] = busy_.try_emplace(phase, 0);
+    if (inserted) phase_order_.push_back(phase);
+    it->second += end - start;
   }
 
   /// Accumulated phase time across repeats. Per repeat this is the longest
@@ -47,20 +51,15 @@ class PhaseCollector {
     return it == busy_.end() ? 0 : it->second;
   }
 
-  std::vector<std::string> phases() const {
-    std::vector<std::string> names;
-    for (const auto& [key, longest] : spans_) {
-      (void)longest;
-      if (std::find(names.begin(), names.end(), key.first) == names.end()) {
-        names.push_back(key.first);
-      }
-    }
-    return names;
-  }
+  /// Phase names in first-recorded order. (A previous version re-derived
+  /// this from the span map, which sorts lexicographically — "download"
+  /// printed before "upload" even though the benchmark ran uploads first.)
+  const std::vector<std::string>& phases() const { return phase_order_; }
 
  private:
   std::map<std::pair<std::string, int>, sim::Duration> spans_;
   std::map<std::string, sim::Duration> busy_;
+  std::vector<std::string> phase_order_;
 };
 
 /// Aggregate throughput/time for one benchmark phase, as reported in the
@@ -71,7 +70,10 @@ struct PhaseReport {
   std::int64_t bytes = 0;  // payload moved during the phase
   std::int64_t ops = 0;    // operations performed
 
-  double mb_per_sec() const {
+  /// Throughput in MiB/s. The divisor is binary (1024^2); headers and
+  /// prose must say "MiB/s" to match (the paper's "MB/s" figures were
+  /// produced with the same binary divisor, so numbers are comparable).
+  double mib_per_sec() const {
     return seconds > 0 ? static_cast<double>(bytes) / (1024.0 * 1024.0) /
                              seconds
                        : 0;

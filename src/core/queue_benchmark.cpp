@@ -181,6 +181,7 @@ sim::Task<void> shared_worker(fabric::RoleContext& ctx, SharedShared& shared) {
 QueueSeparateResult run_queue_separate_benchmark(
     const QueueSeparateConfig& cfg) {
   sim::Simulation simulation;
+  if (cfg.observer != nullptr) simulation.set_observer(cfg.observer);
   azure::CloudEnvironment env(simulation, cfg.cloud);
   fabric::Deployment deployment(env);
   deployment.add_worker_roles(cfg.workers, cfg.vm);
@@ -218,6 +219,7 @@ QueueSeparateResult run_queue_separate_benchmark(
 
 QueueSharedResult run_queue_shared_benchmark(const QueueSharedConfig& cfg) {
   sim::Simulation simulation;
+  if (cfg.observer != nullptr) simulation.set_observer(cfg.observer);
   azure::CloudEnvironment env(simulation, cfg.cloud);
   fabric::Deployment deployment(env);
   deployment.add_worker_roles(cfg.workers, cfg.vm);

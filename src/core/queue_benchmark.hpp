@@ -8,6 +8,10 @@
 #include "core/collector.hpp"
 #include "fabric/vm_size.hpp"
 
+namespace obs {
+class Observer;
+}
+
 namespace azurebench {
 
 /// Algorithm 3: each worker owns a dedicated queue; 20,000 messages in
@@ -21,6 +25,8 @@ struct QueueSeparateConfig {
                                              32 << 10, 64 << 10};
   fabric::VmSize vm = fabric::VmSize::kSmall;
   azure::CloudConfig cloud;
+  /// Optional observability sink (see BlobBenchConfig::observer).
+  obs::Observer* observer = nullptr;
 };
 
 struct QueueSizePoint {
@@ -60,6 +66,8 @@ struct QueueSharedConfig {
   std::uint64_t seed = 7;
   fabric::VmSize vm = fabric::VmSize::kSmall;
   azure::CloudConfig cloud;
+  /// Optional observability sink (see BlobBenchConfig::observer).
+  obs::Observer* observer = nullptr;
 };
 
 struct QueueThinkPoint {

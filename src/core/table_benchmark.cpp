@@ -126,6 +126,7 @@ sim::Task<void> worker_body(fabric::RoleContext& ctx, Shared& shared) {
 
 TableBenchResult run_table_benchmark(const TableBenchConfig& cfg) {
   sim::Simulation simulation;
+  if (cfg.observer != nullptr) simulation.set_observer(cfg.observer);
   azure::CloudEnvironment env(simulation, cfg.cloud);
   fabric::Deployment deployment(env);
   deployment.add_worker_roles(cfg.workers, cfg.vm);

@@ -14,6 +14,10 @@
 #include "core/collector.hpp"
 #include "fabric/vm_size.hpp"
 
+namespace obs {
+class Observer;
+}
+
 namespace azurebench {
 
 struct TableBenchConfig {
@@ -25,6 +29,8 @@ struct TableBenchConfig {
                                             32 << 10, 64 << 10};
   fabric::VmSize vm = fabric::VmSize::kSmall;
   azure::CloudConfig cloud;
+  /// Optional observability sink (see BlobBenchConfig::observer).
+  obs::Observer* observer = nullptr;
 };
 
 struct TableSizePoint {

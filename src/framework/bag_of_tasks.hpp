@@ -30,6 +30,7 @@
 #include "azure/cloud_storage_account.hpp"
 #include "azure/common/limits.hpp"
 #include "azure/common/retry.hpp"
+#include "obs/observer.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
 
@@ -217,8 +218,23 @@ class BagOfTasksApp {
         } catch (const azure::NotFoundError&) {
         }
         ++dead_lettered_;
+        if (obs::Observer* const o = sim.observer(); o != nullptr) {
+          o->metrics().counter("bag.dead_lettered").add(1);
+        }
         continue;
       }
+      if (msg->dequeue_count > 1) {
+        if (obs::Observer* const o = sim.observer(); o != nullptr) {
+          o->metrics().counter("bag.redeliveries").add(1);
+        }
+      }
+
+      // The whole task — payload resolution plus handler — is one kTask
+      // span, a root (tasks are independent of any client-request trace).
+      obs::Observer* const o = sim.observer();
+      const sim::TimePoint task_start = sim.now();
+      obs::SpanHandle task_span{};
+      if (o != nullptr) task_span = o->begin(obs::TraceContext{}, task_start);
 
       TaskDescriptor task = co_await resolve(worker_account, msg->body);
 
@@ -241,6 +257,13 @@ class BagOfTasksApp {
       }
       handler_done = true;
       if (cfg_.renew_task_leases) co_await renewal.wait();
+      if (o != nullptr) {
+        o->end(task_span, obs::SpanKind::kTask, o->label("bag.task"), -1,
+               task.bytes, handler_failed, sim.now());
+        if (handler_failed) {
+          o->metrics().counter("bag.handler_failures").add(1);
+        }
+      }
 
       if (handler_failed) {
         // The handler crashed (e.g. an un-retried injected fault escaped

@@ -14,6 +14,7 @@
 #include "faults/errors.hpp"
 #include "faults/fault_plan.hpp"
 #include "netsim/nic.hpp"
+#include "obs/observer.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
@@ -51,14 +52,23 @@ class Network {
   ///  * be duplicated — the payload pays its link occupancy twice (a
   ///    retransmission; the transport dedupes, so no semantic effect);
   ///  * hit a latency spike — extra propagation delay on this hop.
-  sim::Task<bool> transfer_checked(Nic& src, Nic& dst, std::int64_t bytes) {
+  sim::Task<bool> transfer_checked(Nic& src, Nic& dst, std::int64_t bytes,
+                                   obs::TraceContext trace = {}) {
     faults::LinkFault fault = faults::LinkFault::kNone;
     if (plan_ != nullptr) fault = plan_->draw_link_fault(bytes);
+    obs::Observer* const o = sim_.observer();
+    obs::SpanHandle span{};
+    if (o != nullptr) span = o->begin(trace, sim_.now());
 
     if (bytes > 0) co_await src.send(bytes);
     if (fault == faults::LinkFault::kDrop) {
       ++dropped_transfers_;
       co_await sim_.delay(plan_->config().drop_timeout);
+      if (o != nullptr) {
+        o->metrics().counter("net.dropped").add(1);
+        o->end(span, obs::SpanKind::kNetTransfer, 0, -1, bytes,
+               /*error=*/true, sim_.now());
+      }
       throw faults::TimeoutError("transfer lost in the network (" +
                                  std::to_string(bytes) + " bytes)");
     }
@@ -77,6 +87,12 @@ class Network {
     }
     ++transfers_;
     bytes_moved_ += bytes;
+    if (o != nullptr) {
+      o->metrics().counter("net.transfers").add(1);
+      o->metrics().counter("net.bytes").add(bytes);
+      o->end(span, obs::SpanKind::kNetTransfer, 0, -1, bytes,
+             /*error=*/false, sim_.now());
+    }
     if (fault == faults::LinkFault::kBitFlip) {
       ++corrupted_transfers_;
       co_return true;
@@ -86,13 +102,15 @@ class Network {
 
   /// transfer_checked for callers that carry no payload checksum (corrupt
   /// arrivals are indistinguishable from clean ones to them).
-  sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
-    (void)co_await transfer_checked(src, dst, bytes);
+  sim::Task<void> transfer(Nic& src, Nic& dst, std::int64_t bytes,
+                           obs::TraceContext trace = {}) {
+    (void)co_await transfer_checked(src, dst, bytes, trace);
   }
 
   /// One-way control-plane delay (request or response header).
-  sim::Task<void> control_hop(Nic& src, Nic& dst) {
-    co_await transfer(src, dst, 0);
+  sim::Task<void> control_hop(Nic& src, Nic& dst,
+                              obs::TraceContext trace = {}) {
+    co_await transfer(src, dst, 0, trace);
   }
 
   std::int64_t transfers() const noexcept { return transfers_; }

@@ -1,0 +1,183 @@
+// Deterministic metrics: counters, gauges, and fixed-bucket log-scale
+// latency histograms.
+//
+// Everything is integer-valued and updated with plain arithmetic — no wall
+// clock, no floating-point accumulation on the record path, no allocation
+// once a metric exists. Two replays of the same seeded simulation produce
+// byte-identical registries.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace obs {
+
+/// Monotonic saturating counter. Saturates at int64 max instead of wrapping:
+/// an overflowed counter stays pinned (and comparable across replays) rather
+/// than silently restarting from a small number.
+class Counter {
+ public:
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    value_ = (delta > kMax - value_) ? kMax : value_ + delta;
+  }
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed 64-bucket log2 histogram of non-negative durations (nanoseconds).
+///
+/// Bucket 0 holds exact zeros (and clamped negatives); bucket b >= 1 holds
+/// values whose bit width is b, i.e. [2^(b-1), 2^b). Every positive int64
+/// has bit width <= 63, so 64 buckets cover the full domain with no dynamic
+/// resizing and an O(1) branch-free record path. Quantiles are reported as
+/// the containing bucket's upper edge (~2x resolution per decade), clamped
+/// to the exact observed max.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(sim::Duration v) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_of(v))] += 1;
+    ++count_;
+    sum_ += v > 0 ? v : 0;
+    if (v > max_) max_ = v;
+  }
+
+  /// Bucket index for a value: 0 for v <= 0, else bit_width(v).
+  static int bucket_of(sim::Duration v) noexcept {
+    if (v <= 0) return 0;
+    return std::bit_width(static_cast<std::uint64_t>(v));
+  }
+
+  /// Largest value bucket `b` can hold (2^b - 1; 0 for bucket 0).
+  static std::int64_t bucket_upper_edge(int b) noexcept {
+    if (b <= 0) return 0;
+    if (b >= 63) return std::numeric_limits<std::int64_t>::max();
+    return (std::int64_t{1} << b) - 1;
+  }
+
+  std::int64_t count() const noexcept { return count_; }
+  std::int64_t sum() const noexcept { return sum_; }
+  std::int64_t max() const noexcept { return max_; }
+  std::int64_t bucket(int b) const noexcept {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  /// Upper-edge estimate of quantile q in [0, 1], clamped to the observed
+  /// max. Returns 0 on an empty histogram.
+  std::int64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Nearest-rank: the smallest bucket whose cumulative count reaches
+    // ceil(q * count). Integer arithmetic keeps ranks platform-identical.
+    const auto permyriad = static_cast<std::int64_t>(q * 10000.0 + 0.5);
+    std::int64_t rank = (count_ * permyriad + 9999) / 10000;
+    if (rank < 1) rank = 1;
+    std::int64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cumulative += buckets_[static_cast<std::size_t>(b)];
+      if (cumulative >= rank) {
+        const std::int64_t edge = bucket_upper_edge(b);
+        return edge < max_ ? edge : max_;
+      }
+    }
+    return max_;
+  }
+
+  double mean() const noexcept {
+    return count_ > 0 ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+  }
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Name-keyed registry of the three metric families. Lookups take a
+/// string_view (no temporary std::string on the hot path, via transparent
+/// comparators); instruments are stored in deques so references handed out
+/// stay valid as the registry grows. Export order is registration order —
+/// part of the determinism contract, since two replays register identically.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name) {
+    return instrument(counters_, counter_index_, name);
+  }
+  Gauge& gauge(std::string_view name) {
+    return instrument(gauges_, gauge_index_, name);
+  }
+  LatencyHistogram& histogram(std::string_view name) {
+    return instrument(histograms_, histogram_index_, name);
+  }
+
+  /// Visits every instrument of a family in registration order.
+  template <class F>
+  void for_each_counter(F&& f) const {
+    for (const auto& [name, c] : counters_) f(name, c);
+  }
+  template <class F>
+  void for_each_gauge(F&& f) const {
+    for (const auto& [name, g] : gauges_) f(name, g);
+  }
+  template <class F>
+  void for_each_histogram(F&& f) const {
+    for (const auto& [name, h] : histograms_) f(name, h);
+  }
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <class T>
+  using Family = std::deque<std::pair<std::string, T>>;
+  using Index = std::map<std::string, std::size_t, std::less<>>;
+
+  template <class T>
+  static T& instrument(Family<T>& family, Index& index,
+                       std::string_view name) {
+    if (auto it = index.find(name); it != index.end()) {
+      return family[it->second].second;
+    }
+    family.emplace_back(std::string(name), T{});
+    index.emplace(std::string(name), family.size() - 1);
+    return family.back().second;
+  }
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<LatencyHistogram> histograms_;
+  Index counter_index_;
+  Index gauge_index_;
+  Index histogram_index_;
+};
+
+}  // namespace obs

@@ -1,0 +1,95 @@
+// Request-tracing primitives: trace/span identity and the typed span record.
+//
+// A TraceContext is the identity a request carries as it descends the stack
+// (client retry loop -> service operation -> cluster -> network / servers).
+// Every instrumented layer emits a *completed* Span — (kind, parent, start,
+// end) plus a few typed attributes — into the Observer's bounded ring.
+//
+// Everything here is integer-valued and keyed by sim-time only: two replays
+// of the same seeded scenario produce byte-identical span streams.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace obs {
+
+/// Identity flowing down a request: which trace it belongs to and which
+/// span is the immediate parent. Zero-initialized means "no active trace" —
+/// the next span started from it becomes a root.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;  // parent span for children started from this
+
+  bool active() const noexcept { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// The layer a span measures. Kinds are a closed set so per-layer latency
+/// histograms can live in a fixed array with no hot-path allocation.
+enum class SpanKind : std::uint8_t {
+  kClientRequest,  // one logical client call incl. every retry attempt
+  kRetryBackoff,   // client-side sleep between attempts
+  kServiceOp,      // one blob/queue/table API operation (one attempt)
+  kThrottleWait,   // time parked at an account-level admission gate
+  kFailover,       // re-route latency off a crashed partition server
+  kNetTransfer,    // one NIC-to-NIC transfer (uplink + fabric + downlink)
+  kServerProcess,  // front-end + executor + CPU + disk on the primary
+  kExecutorQueue,  // waiting for a free executor inside the server
+  kReplication,    // synchronous fan-out, start to slowest-replica ack
+  kReplicaCommit,  // one replica's receive + append + commit ack
+  kLogCommit,      // serialized message/partition log append (service side)
+  kTask,           // one framework task: resolve + handler execution
+  kCount,          // sentinel — number of kinds
+};
+
+inline constexpr int kSpanKindCount = static_cast<int>(SpanKind::kCount);
+
+/// Stable wire/JSON name for a span kind.
+constexpr const char* span_kind_name(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kClientRequest: return "client.request";
+    case SpanKind::kRetryBackoff: return "retry.backoff";
+    case SpanKind::kServiceOp: return "service.op";
+    case SpanKind::kThrottleWait: return "throttle.wait";
+    case SpanKind::kFailover: return "failover";
+    case SpanKind::kNetTransfer: return "net.transfer";
+    case SpanKind::kServerProcess: return "server.process";
+    case SpanKind::kExecutorQueue: return "server.exec_queue";
+    case SpanKind::kReplication: return "replication";
+    case SpanKind::kReplicaCommit: return "replica.commit";
+    case SpanKind::kLogCommit: return "log.commit";
+    case SpanKind::kTask: return "task";
+    case SpanKind::kCount: break;
+  }
+  return "unknown";
+}
+
+/// One completed, typed span. Fixed-size POD: ring storage, no strings —
+/// the label is an interned id resolved through the Observer.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;  // 0 = root
+  sim::TimePoint start = 0;
+  sim::TimePoint end = 0;
+  std::int64_t bytes = 0;     // payload bytes, where meaningful
+  std::int32_t server = -1;   // partition server index, where meaningful
+  std::uint16_t label = 0;    // interned detail label (0 = none)
+  SpanKind kind = SpanKind::kClientRequest;
+  bool error = false;
+
+  sim::Duration duration() const noexcept { return end - start; }
+  bool operator==(const Span&) const = default;
+};
+
+/// Ticket returned by Observer::begin(): the new span's identity plus what
+/// end() needs to finish the record.
+struct SpanHandle {
+  TraceContext ctx{};           // this span's identity (parent for children)
+  std::uint32_t parent_id = 0;  // the span's own parent
+  sim::TimePoint start = 0;
+};
+
+}  // namespace obs

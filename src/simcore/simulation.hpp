@@ -26,6 +26,10 @@
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
 
+namespace obs {
+class Observer;  // see obs/observer.hpp; forward-declared to avoid a cycle
+}
+
 namespace sim {
 
 class Simulation;
@@ -173,6 +177,15 @@ class Simulation {
   /// Number of still-live root processes.
   int live_processes() const noexcept { return live_processes_; }
 
+  /// Attaches (or detaches, with nullptr) the observability hub. The engine
+  /// itself never calls into it — layers built on the simulation check this
+  /// pointer and skip all instrumentation when it is null, so an unobserved
+  /// run is byte-identical to a build without the obs layer.
+  void set_observer(obs::Observer* observer) noexcept {
+    observer_ = observer;
+  }
+  obs::Observer* observer() const noexcept { return observer_; }
+
  private:
   detail::Detached run_process(Task<void> task,
                                std::shared_ptr<detail::ProcessState> st);
@@ -185,6 +198,7 @@ class Simulation {
   std::exception_ptr first_error_{};
   detail::EventQueue queue_;
   std::vector<std::shared_ptr<detail::ProcessState>> state_pool_;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace sim

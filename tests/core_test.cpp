@@ -88,12 +88,25 @@ TEST(PhaseCollectorTest, WallIsLongestWorkerPerRepeatSummedAcrossRepeats) {
   EXPECT_EQ(c.phases(), std::vector<std::string>{"upload"});
 }
 
+TEST(PhaseCollectorTest, PhasesKeepRecordingOrderNotLexicographic) {
+  // Regression: phases() used to re-derive the list from a std::map keyed
+  // by name, so "download" sorted before "upload" even when the benchmark
+  // ran the upload phase first (fig4/fig8 reports printed out of order).
+  azurebench::PhaseCollector c;
+  c.record("upload", 0, 0, 10);
+  c.record("download", 0, 10, 30);
+  c.record("delete", 0, 30, 40);
+  c.record("upload", 1, 40, 50);  // repeat must not duplicate the entry
+  const std::vector<std::string> expected{"upload", "download", "delete"};
+  EXPECT_EQ(c.phases(), expected);
+}
+
 TEST(PhaseReportTest, DerivedMetrics) {
   azurebench::PhaseReport r{"x", 2.0, 200 * 1024 * 1024, 1000};
-  EXPECT_DOUBLE_EQ(r.mb_per_sec(), 100.0);
+  EXPECT_DOUBLE_EQ(r.mib_per_sec(), 100.0);
   EXPECT_DOUBLE_EQ(r.ms_per_op(), 2.0);
   azurebench::PhaseReport zero{"y", 0.0, 0, 0};
-  EXPECT_DOUBLE_EQ(zero.mb_per_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.mib_per_sec(), 0.0);
   EXPECT_DOUBLE_EQ(zero.ms_per_op(), 0.0);
 }
 
@@ -123,7 +136,7 @@ TEST(BlobBenchmarkTest, SmallRunProducesSaneNumbers) {
         &result.block_seq_read, &result.page_full_read,
         &result.block_full_read}) {
     EXPECT_GT(phase->seconds, 0.0) << phase->phase;
-    EXPECT_GT(phase->mb_per_sec(), 0.0) << phase->phase;
+    EXPECT_GT(phase->mib_per_sec(), 0.0) << phase->phase;
   }
   EXPECT_GT(result.barrier_seconds, 0.0);
   EXPECT_GT(result.simulated_events, 0u);
@@ -131,14 +144,14 @@ TEST(BlobBenchmarkTest, SmallRunProducesSaneNumbers) {
 
 TEST(BlobBenchmarkTest, PaperShapePageUploadBeatsBlockUpload) {
   const auto result = azurebench::run_blob_benchmark(small_blob_config(8));
-  EXPECT_GT(result.page_upload.mb_per_sec(),
-            result.block_upload.mb_per_sec());
+  EXPECT_GT(result.page_upload.mib_per_sec(),
+            result.block_upload.mib_per_sec());
 }
 
 TEST(BlobBenchmarkTest, PaperShapeSequentialBlocksBeatRandomPages) {
   const auto result = azurebench::run_blob_benchmark(small_blob_config(8));
-  EXPECT_GT(result.block_seq_read.mb_per_sec(),
-            result.page_random_read.mb_per_sec());
+  EXPECT_GT(result.block_seq_read.mib_per_sec(),
+            result.page_random_read.mib_per_sec());
 }
 
 TEST(BlobBenchmarkTest, DeterministicAcrossRuns) {
@@ -152,8 +165,8 @@ TEST(BlobBenchmarkTest, DeterministicAcrossRuns) {
 TEST(BlobBenchmarkTest, DownloadThroughputGrowsWithWorkers) {
   const auto few = azurebench::run_blob_benchmark(small_blob_config(2));
   const auto many = azurebench::run_blob_benchmark(small_blob_config(8));
-  EXPECT_GT(many.block_full_read.mb_per_sec(),
-            few.block_full_read.mb_per_sec());
+  EXPECT_GT(many.block_full_read.mib_per_sec(),
+            few.block_full_read.mib_per_sec());
 }
 
 // -------------------------------------------------------- queue benchmark ----

@@ -375,4 +375,97 @@ TEST(QueueTimingTest, SeparateQueuesScaleBetterThanShared) {
   EXPECT_GT(measure(true), measure(false));
 }
 
+// ------------------------------------------------- boundary-instant tests ----
+//
+// Both tests use a two-world calibration trick: a first deterministic run
+// with relaxed limits measures the exact sim-time at which get_message's
+// atomic claim sweep executes; a second run then pins the boundary
+// (expiration_time / visible_from) to precisely that instant. Replays are
+// byte-identical, so the measured instants transfer between worlds.
+
+struct QueueBoundaryProbe {
+  TimePoint insertion = 0;  // message insertion time (first run)
+  TimePoint claim = 0;      // sim time right after the probing get returned
+  bool served = false;
+  int dequeue_count = 0;
+};
+
+Task<> expiry_world(TestWorld& t, sim::Duration ttl, QueueBoundaryProbe& out) {
+  auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+  co_await q.create();
+  co_await q.add_message(Payload::bytes("boundary"), ttl);
+  const auto msg = co_await q.get_message();
+  out.claim = t.sim.now();
+  out.served = msg.has_value();
+  if (msg.has_value()) out.insertion = msg->insertion_time;
+}
+
+QueueBoundaryProbe run_expiry_world(sim::Duration ttl) {
+  TestWorld w;
+  QueueBoundaryProbe p;
+  w.sim.spawn(expiry_world(w, ttl, p));
+  w.sim.run();
+  return p;
+}
+
+TEST(QueueBoundaryTest, MessageRetrievableAtExactExpirationInstant) {
+  // Calibration: default 7-day TTL; measure insertion -> claim delta.
+  const QueueBoundaryProbe cal = run_expiry_world(0);
+  ASSERT_TRUE(cal.served);
+  const sim::Duration delta = cal.claim - cal.insertion;
+  ASSERT_GT(delta, 1);
+
+  // TTL lapses exactly at the claim sweep's `now`. A TTL is a guaranteed
+  // lifetime (ExpirationTime = insertion + TTL, retrievable *through* that
+  // instant); the pre-fix `expiration_time <= now` sweep dropped it here.
+  const QueueBoundaryProbe at_edge = run_expiry_world(delta);
+  EXPECT_TRUE(at_edge.served);
+
+  // One nanosecond less and the TTL genuinely lapsed before the claim.
+  const QueueBoundaryProbe past_edge = run_expiry_world(delta - 1);
+  EXPECT_FALSE(past_edge.served);
+}
+
+Task<> visibility_world(TestWorld& t, sim::Duration first_vis,
+                        QueueBoundaryProbe& out) {
+  auto q = t.account.create_cloud_queue_client().get_queue_reference("q");
+  co_await q.create();
+  co_await q.add_message(Payload::bytes("boundary"));
+  const auto first = co_await q.get_message(first_vis);
+  CO_ASSERT_TRUE(first.has_value());
+  out.insertion = t.sim.now();  // instant the second get is issued
+  const auto second = co_await q.get_message();
+  out.claim = t.sim.now();
+  out.served = second.has_value();
+  if (second.has_value()) out.dequeue_count = second->dequeue_count;
+}
+
+QueueBoundaryProbe run_visibility_world(sim::Duration first_vis) {
+  TestWorld w;
+  QueueBoundaryProbe p;
+  w.sim.spawn(visibility_world(w, first_vis, p));
+  w.sim.run();
+  return p;
+}
+
+TEST(QueueBoundaryTest, MessageVisibleAtExactTimeNextVisibleInstant) {
+  // Calibration: default 30 s visibility; the second get finds nothing and
+  // measures how long its own claim sweep takes to run (D).
+  const QueueBoundaryProbe cal = run_visibility_world(0);
+  ASSERT_FALSE(cal.served);
+  const sim::Duration d = cal.claim - cal.insertion;
+  ASSERT_GT(d, 1);
+
+  // First get hides the message for exactly D: visible_from (Azure's
+  // TimeNextVisible — the instant the message *becomes* visible) equals the
+  // second get's claim instant, so that consumer must receive it.
+  const QueueBoundaryProbe at_edge = run_visibility_world(d);
+  EXPECT_TRUE(at_edge.served);
+  EXPECT_EQ(at_edge.dequeue_count, 2);
+
+  // One nanosecond more and the message is still hidden at the claim.
+  const QueueBoundaryProbe before_edge = run_visibility_world(d + 1);
+  EXPECT_FALSE(before_edge.served);
+}
+
 }  // namespace

@@ -181,6 +181,39 @@ TEST(RetryTaxonomyTest, SingleAttemptPolicyNeverSleeps) {
   EXPECT_EQ(o.elapsed, 0);
 }
 
+TEST(RetryTaxonomyTest, MaxAttemptsOneIsExactlyOneAttemptPerErrorClass) {
+  // Attempt-budget boundary (RetryPolicy::gives_up): max_attempts counts
+  // TOTAL attempts, so 1 means "never retry" for every transient class —
+  // no second call, no backoff sleep, the error rethrown as-is.
+  for (Err e : {Err::kBusy, Err::kTimeout, Err::kReset, Err::kChecksum}) {
+    azure::RetryPolicy p = exact_policy();
+    p.max_attempts = 1;
+    const Outcome o = drive(p, /*failures=*/1, e);
+    EXPECT_EQ(o.calls, 1) << "class " << static_cast<int>(e);
+    EXPECT_EQ(o.retries, 0) << "class " << static_cast<int>(e);
+    EXPECT_TRUE(o.threw) << "class " << static_cast<int>(e);
+    EXPECT_EQ(o.elapsed, 0) << "class " << static_cast<int>(e);
+  }
+}
+
+TEST(RetryTaxonomyTest, MaxAttemptsTwoIsExactlyOneRetryPerErrorClass) {
+  for (Err e : {Err::kBusy, Err::kTimeout, Err::kReset, Err::kChecksum}) {
+    azure::RetryPolicy p = exact_policy();
+    p.max_attempts = 2;
+    // Persistent failure: the first try plus exactly one retry, then the
+    // second attempt's error surfaces.
+    const Outcome exhausted = drive(p, /*failures=*/1'000, e);
+    EXPECT_EQ(exhausted.calls, 2) << "class " << static_cast<int>(e);
+    EXPECT_EQ(exhausted.retries, 1) << "class " << static_cast<int>(e);
+    EXPECT_TRUE(exhausted.threw) << "class " << static_cast<int>(e);
+    // One transient failure: the single allowed retry recovers.
+    const Outcome recovered = drive(p, /*failures=*/1, e);
+    EXPECT_EQ(recovered.calls, 2) << "class " << static_cast<int>(e);
+    EXPECT_EQ(recovered.retries, 1) << "class " << static_cast<int>(e);
+    EXPECT_EQ(recovered.result, 7) << "class " << static_cast<int>(e);
+  }
+}
+
 // -------------------------------------------------------- backoff shape ----
 
 TEST(RetryBackoffTest, ExponentialGrowthCapsAtMaxBackoff) {
