@@ -25,6 +25,12 @@ run_config() {
   # changes allocation patterns, which the obs layer must be immune to).
   echo "=== obs ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L obs
+  # The partition-map / load-balancer suite re-runs by label for the same
+  # reason, and the balancer benchmark's smoke run proves the binary drives
+  # an actual rebalance end-to-end in this configuration.
+  echo "=== partition ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L partition
+  "${dir}/bench/bench_ext_partition_lb" --smoke
 }
 
 run_tidy() {

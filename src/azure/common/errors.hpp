@@ -9,6 +9,7 @@
 
 namespace azure {
 
+using cluster::PartitionMovedError;
 using cluster::ServerBusyError;
 using cluster::StorageError;
 

@@ -53,6 +53,7 @@ struct RetryPolicy {
   bool retry_timeouts = true;          // lost request/response
   bool retry_connection_resets = true; // server crashed mid-request
   bool retry_checksum_mismatch = true; // payload corrupted in flight
+  bool retry_partition_moved = true;   // stale partition-map redirect
 
   /// The paper's client policy: fixed 1 s sleep, ServerBusy only. With this
   /// preset (and no injected faults) retry timing is byte-identical to the
@@ -67,6 +68,10 @@ struct RetryPolicy {
     p.retry_timeouts = false;
     p.retry_connection_resets = false;
     p.retry_checksum_mismatch = false;
+    // The paper-era model routes with a static partition placement: a moved
+    // partition cannot occur in a frozen figure run, and the preset must
+    // surface one (not absorb it) if a misconfiguration ever produces it.
+    p.retry_partition_moved = false;
     return p;
   }
 
@@ -178,6 +183,16 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       // Either way the operation is safe to repeat verbatim.
       error_class = detail::error_label(o, "checksum_mismatch");
       if (policy.gives_up(policy.retry_checksum_mismatch, retries)) {
+        request.fail(error_class);
+        throw;
+      }
+      backoff = true;
+    } catch (const PartitionMovedError&) {
+      // Stale partition-map redirect: the request never executed and the
+      // redirect already refreshed this client's cached map, so the retry
+      // routes against fresh state.
+      error_class = detail::error_label(o, "partition_moved");
+      if (policy.gives_up(policy.retry_partition_moved, retries)) {
         request.fail(error_class);
         throw;
       }

@@ -8,7 +8,10 @@
 #include "azure/queue/queue_service.hpp"
 #include "azure/sql/sql_service.hpp"
 #include "azure/table/table_service.hpp"
+#include <memory>
+
 #include "cluster/config.hpp"
+#include "cluster/load_balancer.hpp"
 #include "cluster/storage_cluster.hpp"
 #include "faults/fault_plan.hpp"
 #include "simcore/simulation.hpp"
@@ -39,6 +42,10 @@ class CloudEnvironment {
         cache_(sim, cluster_.network(), cfg.cache),
         sql_(sim, cluster_.network(), cfg.sql) {
     if (fault_plan_.enabled()) cluster_.enable_faults(fault_plan_);
+    if (cfg.cluster.balancer.enabled) {
+      balancer_ = std::make_unique<cluster::LoadBalancer>(cluster_);
+      balancer_->start();
+    }
   }
 
   CloudEnvironment(const CloudEnvironment&) = delete;
@@ -52,6 +59,9 @@ class CloudEnvironment {
   TableService& table_service() noexcept { return table_; }
   CacheService& cache_service() noexcept { return cache_; }
   sql::SqlService& sql_service() noexcept { return sql_; }
+  /// The partition-map load balancer; null unless
+  /// cfg.cluster.balancer.enabled.
+  cluster::LoadBalancer* load_balancer() noexcept { return balancer_.get(); }
 
  private:
   sim::Simulation& sim_;
@@ -62,6 +72,7 @@ class CloudEnvironment {
   TableService table_;
   CacheService cache_;
   sql::SqlService sql_;
+  std::unique_ptr<cluster::LoadBalancer> balancer_;
 };
 
 }  // namespace azure

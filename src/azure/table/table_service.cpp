@@ -115,6 +115,9 @@ void TableService::admit(TableData& t, std::string table,
 sim::Task<void> TableService::journal_write(std::string table,
                                             std::string pk,
                                             std::int64_t bytes) {
+  // Routed through the partition map: when the balancer (or crash failover)
+  // moves the partition's bucket, its log appends follow it to the new
+  // serving server's journal rather than staying pinned to the static home.
   const int server = cluster_.server_index(hash(table, pk));
   auto& journal = journals_[server];
   if (!journal) {

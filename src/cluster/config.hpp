@@ -23,9 +23,56 @@ enum class ThrottleMode {
   kQueue,
 };
 
+/// The partition-map load balancer (Calder et al., SOSP'11 §5: the partition
+/// master splits the key space into movable ranges and reassigns them across
+/// servers under load). Disabled by default: with no balancer and no moves,
+/// map routing is exactly the static `hash % partition_servers` placement.
+struct BalancerConfig {
+  /// Spawn the master balancing process. Off by default so the frozen paper
+  /// figures (fig4–fig9) keep their static placement byte-for-byte.
+  bool enabled = false;
+
+  /// Movable hash-range buckets per partition server. The map holds
+  /// partition_servers * buckets_per_server buckets; the default assignment
+  /// (bucket % servers) equals modulo routing, so the knob only changes how
+  /// finely load can be shed, never the unbalanced baseline.
+  int buckets_per_server = 8;
+
+  /// Balancing epoch: the master samples per-bucket request counters and
+  /// makes its move decisions once per epoch.
+  sim::Duration epoch = sim::millis(500);
+
+  /// A server whose epoch load exceeds `offload_threshold * mean healthy
+  /// load` sheds its hottest buckets until it is back under the limit.
+  double offload_threshold = 1.25;
+
+  /// Upper bound on bucket moves per epoch — bounds reassignment churn and
+  /// the redirect storm a move burst would impose on clients.
+  int max_moves_per_epoch = 4;
+
+  /// Move cost: a bucket being handed off is unavailable for this window;
+  /// requests for it arriving inside the window wait it out at the
+  /// front-end (the paper's benchmarks never observe this — no moves).
+  sim::Duration move_unavailable = sim::millis(10);
+
+  /// The master parks itself after this many consecutive epochs with zero
+  /// request traffic, so a drained simulation can terminate. A workload
+  /// with quiet gaps longer than idle_epochs_to_exit * epoch loses
+  /// balancing for its later bursts.
+  int idle_epochs_to_exit = 4;
+
+  /// Seed of the balancer's own RNG; decisions draw from a stream forked
+  /// off it, so balancing randomness never perturbs (or is perturbed by)
+  /// any other consumer's draws.
+  std::uint64_t seed = 0xBA1A;
+};
+
 struct ClusterConfig {
   /// Throttling policy for the account transaction target.
   ThrottleMode throttle_mode = ThrottleMode::kReject;
+
+  /// Partition-map load balancing (off by default).
+  BalancerConfig balancer;
 
   // ----------------------------------------------------------- topology ----
   /// Number of partition servers data is spread across. Azure spreads

@@ -30,4 +30,17 @@ class ServerBusyError : public StorageError {
   explicit ServerBusyError(const std::string& what) : StorageError(what) {}
 };
 
+/// Raised when a request was routed with a stale partition-map version: the
+/// bucket owning the key moved to another server since the client last saw
+/// the map. The request was not executed; the redirect response refreshes
+/// the client's cached map, so an immediate retry routes correctly. Maps to
+/// the partition-move redirects real Azure front-ends issue while a range
+/// is being reassigned. Retryable by default; excluded from
+/// RetryPolicy::paper() because the paper-era model has no movable
+/// partitions (and the frozen figures must never observe one).
+class PartitionMovedError : public StorageError {
+ public:
+  explicit PartitionMovedError(const std::string& what) : StorageError(what) {}
+};
+
 }  // namespace cluster

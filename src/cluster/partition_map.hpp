@@ -1,0 +1,122 @@
+// Versioned partition map: the authoritative hash-range -> server assignment
+// consulted by StorageCluster::execute on every request.
+//
+// The key space is carved into `partition_servers * buckets_per_server`
+// fixed residue-class buckets (bucket = partition_hash % buckets). Buckets
+// are the unit of movement: the load balancer and the crash-failover path
+// reassign whole buckets between servers and bump the map version. Because
+// the bucket count is a multiple of the server count, the *default*
+// assignment (bucket % servers) routes every hash to exactly the server the
+// old static `hash % servers` modulo picked — so a cluster that never moves
+// a bucket behaves bit-for-bit like the pre-map code. This is a deliberate
+// deviation from Calder et al.'s contiguous key ranges: residue classes
+// keep the frozen paper figures byte-identical while still giving the
+// balancer `buckets_per_server` independently movable slices of each
+// server's load.
+//
+// Versioning models the Azure front-end's partition-map cache protocol:
+// every mutation (move) bumps `version()` and stamps the moved bucket with
+// `changed_at(bucket) = version`. A client whose cached version is older
+// than a bucket's change stamp is routed with stale state and pays a
+// redirect (PartitionMovedError) before retrying against the fresh map.
+//
+// The map itself is pure bookkeeping — no simulation time, no RNG — so it
+// is trivially deterministic; all policy lives in LoadBalancer and
+// StorageCluster.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cluster {
+
+class PartitionMap {
+ public:
+  PartitionMap(int servers, int buckets_per_server)
+      : servers_(servers), buckets_(servers * buckets_per_server) {
+    if (servers <= 0 || buckets_per_server <= 0) {
+      throw std::invalid_argument(
+          "PartitionMap: servers and buckets_per_server must be positive");
+    }
+    owner_.resize(static_cast<std::size_t>(buckets_));
+    changed_at_.assign(static_cast<std::size_t>(buckets_), 0);
+    unavailable_until_.assign(static_cast<std::size_t>(buckets_), 0);
+    for (int b = 0; b < buckets_; ++b) owner_[b] = default_owner(b);
+  }
+
+  int servers() const noexcept { return servers_; }
+  int buckets() const noexcept { return buckets_; }
+
+  /// The bucket a partition hash falls into.
+  int bucket_of(std::uint64_t hash) const noexcept {
+    return static_cast<int>(hash % static_cast<std::uint64_t>(buckets_));
+  }
+
+  /// Current owner of a bucket.
+  int owner(int bucket) const { return owner_[bucket]; }
+
+  /// Where a hash routes under the current assignment.
+  int server_of(std::uint64_t hash) const { return owner_[bucket_of(hash)]; }
+
+  /// The assignment every bucket starts with; equals hash % servers routing.
+  int default_owner(int bucket) const noexcept { return bucket % servers_; }
+
+  /// Monotonic map version. Starts at 1 so a client cache of 0 always reads
+  /// as "never fetched".
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// Version at which this bucket last moved (0 = never moved). A cached
+  /// client version below this value is stale *for this bucket* and must be
+  /// redirected; caches older than moves of other buckets stay usable.
+  std::uint64_t changed_at(int bucket) const { return changed_at_[bucket]; }
+
+  /// Total bucket moves ever applied. Zero means the map is still the
+  /// default assignment and the fast path can skip all staleness checks.
+  std::int64_t moves() const noexcept { return moves_; }
+
+  /// End of the move-unavailability window for a bucket (0 = available).
+  sim::TimePoint unavailable_until(int bucket) const {
+    return unavailable_until_[bucket];
+  }
+
+  /// Reassigns `bucket` to `server`, bumping the version and stamping the
+  /// bucket. `offline_until` models the move cost: requests for the bucket
+  /// arriving before that instant wait it out.
+  void assign(int bucket, int server, sim::TimePoint offline_until) {
+    owner_[bucket] = server;
+    ++version_;
+    ++moves_;
+    changed_at_[bucket] = version_;
+    unavailable_until_[bucket] = offline_until;
+  }
+
+  /// Buckets currently owned by `server`, in ascending bucket order.
+  std::vector<int> buckets_of(int server) const {
+    std::vector<int> out;
+    for (int b = 0; b < buckets_; ++b) {
+      if (owner_[b] == server) out.push_back(b);
+    }
+    return out;
+  }
+
+  /// Number of buckets currently owned by `server`.
+  int owned_count(int server) const {
+    int n = 0;
+    for (int b = 0; b < buckets_; ++b) n += (owner_[b] == server) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  int servers_;
+  int buckets_;
+  std::uint64_t version_ = 1;
+  std::int64_t moves_ = 0;
+  std::vector<int> owner_;
+  std::vector<std::uint64_t> changed_at_;
+  std::vector<sim::TimePoint> unavailable_until_;
+};
+
+}  // namespace cluster

@@ -2,14 +2,16 @@
 // account-level scalability targets and synchronous 3-replica commits.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/config.hpp"
 #include "cluster/errors.hpp"
+#include "cluster/partition_map.hpp"
 #include "cluster/partition_server.hpp"
 #include "cluster/replica_store.hpp"
 #include "faults/fault_plan.hpp"
@@ -68,17 +70,19 @@ class StorageCluster {
  public:
   StorageCluster(sim::Simulation& sim, const ClusterConfig& cfg = {})
       : sim_(sim),
-        cfg_(cfg),
+        cfg_(validated(cfg)),
         network_(sim),
         account_tx_(sim, cfg.account_transactions_per_sec),
         account_ingress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024),
         account_egress_(sim, cfg.account_bytes_per_sec, 1024.0 * 1024),
+        map_(cfg.partition_servers, cfg.balancer.buckets_per_server),
         store_(cfg.replicas, cfg.partition_servers) {
-    assert(cfg.partition_servers >= cfg.replicas);
     servers_.reserve(static_cast<std::size_t>(cfg.partition_servers));
     for (int i = 0; i < cfg.partition_servers; ++i) {
       servers_.push_back(std::make_unique<PartitionServer>(sim, cfg_, i));
     }
+    bucket_requests_.assign(static_cast<std::size_t>(map_.buckets()), 0);
+    crash_moved_.resize(servers_.size());
   }
 
   sim::Simulation& simulation() noexcept { return sim_; }
@@ -113,13 +117,57 @@ class StorageCluster {
   ReplicaStore& replica_store() noexcept { return store_; }
   const ReplicaStore& replica_store() const noexcept { return store_; }
 
+  /// Server currently serving `partition_hash`, per the partition map. With
+  /// no moves (balancer off, no crashes) this equals the historical static
+  /// placement `hash % partition_servers`.
   int server_index(std::uint64_t partition_hash) const noexcept {
-    return static_cast<int>(partition_hash %
-                            static_cast<std::uint64_t>(servers_.size()));
+    return map_.server_of(partition_hash);
   }
 
   PartitionServer& server(int index) noexcept {
     return *servers_[static_cast<std::size_t>(index)];
+  }
+
+  int server_count() const noexcept {
+    return static_cast<int>(servers_.size());
+  }
+
+  /// The authoritative hash-range -> server assignment (see
+  /// partition_map.hpp). Mutate only through move_bucket(), which keeps the
+  /// counters, gauges and span records consistent with the map.
+  const PartitionMap& partition_map() const noexcept { return map_; }
+
+  /// Requests routed per bucket since construction — the load signal the
+  /// balancer samples each epoch (includes requests that then failed).
+  const std::vector<std::int64_t>& bucket_requests() const noexcept {
+    return bucket_requests_;
+  }
+
+  /// Buckets reassigned (by the balancer or by crash failover).
+  std::int64_t partition_moves() const noexcept { return partition_moves_; }
+
+  /// Requests redirected because the client's cached map version predated
+  /// the target bucket's last move.
+  std::int64_t stale_map_redirects() const noexcept {
+    return stale_map_redirects_;
+  }
+
+  /// Reassigns `bucket` to `to`, optionally making it unavailable for
+  /// `offline_for` (the move-cost window paid by requests arriving while
+  /// the handoff is in progress). The single mutation point of the map.
+  void move_bucket(int bucket, int to, sim::Duration offline_for) {
+    if (map_.owner(bucket) == to) return;
+    map_.assign(bucket, to,
+                offline_for > 0 ? sim_.now() + offline_for : sim::TimePoint{0});
+    ++partition_moves_;
+    if (obs::Observer* const o = sim_.observer(); o != nullptr) {
+      o->metrics().counter("cluster.partition_moves").add(1);
+      o->metrics().gauge("cluster.map_version").set(
+          static_cast<std::int64_t>(map_.version()));
+      o->emit(obs::SpanKind::kPartitionMove, obs::TraceContext{}, sim_.now(),
+              sim_.now() + (offline_for > 0 ? offline_for : 0), 0, to,
+              bucket);
+    }
   }
 
   /// Executes one request against the partition owning `partition_hash` on
@@ -144,19 +192,49 @@ class StorageCluster {
     if (cost.counts_as_transaction) {
       const sim::TimePoint admission_start = sim_.now();
       bool throttled = false;
-      while (!account_tx_.try_consume()) {
-        if (cfg_.throttle_mode == ThrottleMode::kReject) {
+      if (cfg_.throttle_mode == ThrottleMode::kReject) {
+        if (!account_tx_.try_consume()) {
           if (o != nullptr) {
             o->metrics().counter("cluster.throttle_rejects").add(1);
           }
           throw ServerBusyError(
               "account transaction target exceeded (5,000 tx/s)");
         }
-        // Ablation mode: wait for the next admission window instead of
-        // rejecting.
-        throttled = true;
-        co_await sim_.delay_until(
-            (sim_.now() / sim::kSecond + 1) * sim::kSecond);
+      } else {
+        // Ablation mode: over-target arrivals wait for a later admission
+        // window instead of being rejected. Admission is FIFO by arrival
+        // ticket: only the waiter at the head of the queue may consume
+        // budget. Without the ticket, every waiter raced try_consume at the
+        // window boundary and the event queue broke the tie by *scheduling*
+        // time — so a late arrival whose wakeup happened to be scheduled
+        // earlier could starve waiters that had been parked for windows.
+        const std::uint64_t ticket = throttle_next_ticket_++;
+        for (;;) {
+          if (ticket == throttle_front_) {
+            if (account_tx_.try_consume()) {
+              ++throttle_front_;
+              break;
+            }
+            // Head of the queue with the window exhausted: nothing can be
+            // admitted before the next window boundary.
+            throttled = true;
+            co_await sim_.delay_until(
+                (sim_.now() / sim::kSecond + 1) * sim::kSecond);
+          } else if (account_tx_.current_window_count() >=
+                     account_tx_.budget()) {
+            // Not at the head and the window is dry anyway — park to the
+            // boundary rather than spinning behind the head waiter.
+            throttled = true;
+            co_await sim_.delay_until(
+                (sim_.now() / sim::kSecond + 1) * sim::kSecond);
+          } else {
+            // Not at the head but budget remains: yield to the back of this
+            // instant's event queue so earlier tickets (whose events are
+            // already pending) claim the budget first, then recheck.
+            throttled = true;
+            co_await sim_.delay(0);
+          }
+        }
       }
       if (o != nullptr && throttled) {
         o->emit(obs::SpanKind::kThrottleWait, trace, admission_start,
@@ -166,14 +244,62 @@ class StorageCluster {
     ++total_requests_;
     if (o != nullptr) o->metrics().counter("cluster.requests").add(1);
 
-    const int home = server_index(partition_hash);
-    PartitionServer* primary = &server(home);
-    if (faults_ != nullptr && !primary->up()) {
-      // The partition map reassigns the range to the next healthy server;
-      // the client pays the re-route before reaching it.
+    // ------------------------------------------------------------ routing ----
+    // The partition map owns the hash-range -> server assignment. On the
+    // fast path (no bucket has ever moved: balancer off, no crash failover)
+    // the default assignment equals the historical `hash % servers` modulo
+    // and none of the staleness machinery below runs.
+    const int bucket = map_.bucket_of(partition_hash);
+    ++bucket_requests_[static_cast<std::size_t>(bucket)];
+    if (map_.moves() > 0) {
+      // Client-side map cache: a client whose cached version predates this
+      // bucket's last move is routed on stale state. The front-end answers
+      // with a redirect carrying the fresh map (modelled as one front-end
+      // round trip plus a typed, retryable error) instead of executing the
+      // request against the wrong server.
+      std::uint64_t& cached = client_versions_[&client];
+      if (cached < map_.changed_at(bucket)) {
+        cached = map_.version();
+        ++stale_map_redirects_;
+        co_await sim_.delay(cfg_.frontend_latency);
+        if (o != nullptr) {
+          o->metrics().counter("cluster.stale_map_redirects").add(1);
+        }
+        throw PartitionMovedError(
+            "partition map is stale: bucket " + std::to_string(bucket) +
+            " moved to server " + std::to_string(map_.owner(bucket)) +
+            " (map version " + std::to_string(map_.version()) + ")");
+      }
+      cached = map_.version();
+      // Move cost: a bucket mid-handoff is briefly unavailable; requests
+      // arriving inside the window wait out the remainder at the front-end.
+      if (map_.unavailable_until(bucket) > sim_.now()) {
+        const sim::TimePoint wait_start = sim_.now();
+        co_await sim_.delay_until(map_.unavailable_until(bucket));
+        if (o != nullptr) {
+          o->emit(obs::SpanKind::kThrottleWait, trace, wait_start, sim_.now(),
+                  o->label("partition.move"), map_.owner(bucket));
+        }
+      }
+    }
+    // Replica placement is anchored to the hash-derived default owner and
+    // never follows the map: moves and failovers reassign the *serving*
+    // role, not the stored copies.
+    const int home = map_.default_owner(bucket);
+    PartitionServer* primary = &server(map_.owner(bucket));
+    if (!primary->up()) {
+      // Crash failover is a partition-map update: every bucket of the down
+      // server is reassigned across the healthy ring (throwing when no
+      // healthy server remains), and this request pays the re-route latency
+      // before reaching the bucket's new owner. Other clients learn of the
+      // move through the redirect path above.
       const sim::TimePoint reroute_start = sim_.now();
-      primary = &failover_target(*primary);
-      co_await sim_.delay(faults_->config().failover_latency);
+      reassign_off(primary->index(), /*throw_when_none_healthy=*/true);
+      primary = &server(map_.owner(bucket));
+      client_versions_[&client] = map_.version();
+      if (faults_ != nullptr) {
+        co_await sim_.delay(faults_->config().failover_latency);
+      }
       if (o != nullptr) {
         o->metrics().counter("cluster.failovers").add(1);
         o->emit(obs::SpanKind::kFailover, trace, reroute_start, sim_.now(),
@@ -248,9 +374,15 @@ class StorageCluster {
       if (serve < 0) serve = 0;  // failed-over off the replica set
       if (!entry->replica_good(serve)) {
         const auto& bad = entry->replicas[static_cast<std::size_t>(serve)];
+        // Attribute the mismatch to the server that actually served the
+        // read. When the serving server failed over off the replica set,
+        // `serve` falls back to replica 0 for the *verification*, but
+        // replica 0's server did not serve anything — logging
+        // server_of(entry, serve) would blame it (typically the crashed
+        // home server) for a mismatch observed elsewhere.
         faults_->record(bad.torn ? faults::FaultKind::kChecksumMismatch
                                  : faults::FaultKind::kReplicaDivergence,
-                        store_.server_of(*entry, serve));
+                        primary->index());
         ++read_mismatches_;
         const sim::TimePoint verify_failover_start = sim_.now();
         co_await sim_.delay(faults_->config().failover_latency);
@@ -444,6 +576,31 @@ class StorageCluster {
   }
 
  private:
+  /// Rejects impossible topologies before any dependent member (replica
+  /// ring, partition map) is built from them. A Release build must fail as
+  /// loudly as a Debug build here: replicas > servers would silently fold
+  /// distinct replicas onto the same server and fake durability.
+  static const ClusterConfig& validated(const ClusterConfig& cfg) {
+    if (cfg.partition_servers <= 0) {
+      throw std::invalid_argument(
+          "ClusterConfig: partition_servers must be positive, got " +
+          std::to_string(cfg.partition_servers));
+    }
+    if (cfg.replicas <= 0) {
+      throw std::invalid_argument("ClusterConfig: replicas must be positive, "
+                                  "got " +
+                                  std::to_string(cfg.replicas));
+    }
+    if (cfg.partition_servers < cfg.replicas) {
+      throw std::invalid_argument(
+          "ClusterConfig: partition_servers (" +
+          std::to_string(cfg.partition_servers) +
+          ") must be >= replicas (" + std::to_string(cfg.replicas) +
+          "): each replica of an object lives on a distinct server");
+    }
+    return cfg;
+  }
+
   sim::Task<void> replicate(PartitionServer& primary, std::int64_t bytes,
                             obs::TraceContext trace = {}) {
     sim::WaitGroup wg(sim_);
@@ -592,14 +749,48 @@ class StorageCluster {
     }
   }
 
-  /// Next healthy server after `down` in ring order.
-  PartitionServer& failover_target(PartitionServer& down) {
+  /// Reassigns every bucket owned by `down` across the healthy servers, in
+  /// ring order starting after `down` (round-robin, so a crash spreads the
+  /// victim's load instead of doubling up one neighbour). The buckets are
+  /// remembered for fail-back when `down` restarts. When no healthy server
+  /// exists the guard either throws a retryable ConnectionResetError (the
+  /// request path: the client must see a clean typed error, never a request
+  /// served by a crashed process) or returns silently (the crash driver:
+  /// nothing to reassign to, requests will hit the guard themselves).
+  void reassign_off(int down, bool throw_when_none_healthy) {
     const int n = static_cast<int>(servers_.size());
+    std::vector<int> healthy;
+    healthy.reserve(static_cast<std::size_t>(n));
     for (int k = 1; k < n; ++k) {
-      PartitionServer& candidate = server((down.index() + k) % n);
-      if (candidate.up()) return candidate;
+      const int candidate = (down + k) % n;
+      if (server(candidate).up()) healthy.push_back(candidate);
     }
-    throw ConnectionResetError("no healthy partition server available");
+    if (healthy.empty()) {
+      if (throw_when_none_healthy) {
+        throw ConnectionResetError(
+            "no healthy partition server available: every server in the "
+            "stamp is down");
+      }
+      return;
+    }
+    std::size_t next = 0;
+    for (const int b : map_.buckets_of(down)) {
+      move_bucket(b, healthy[next], /*offline_for=*/0);
+      crash_moved_[static_cast<std::size_t>(down)].push_back(b);
+      next = (next + 1) % healthy.size();
+    }
+  }
+
+  /// Returns the buckets that were on `restarted` when it went down (and
+  /// were reassigned off it) back to it. Restores the pre-crash assignment
+  /// so a crash-restart cycle converges instead of permanently skewing the
+  /// map; the balancer remains free to move them again afterwards.
+  void fail_back(int restarted) {
+    auto& moved = crash_moved_[static_cast<std::size_t>(restarted)];
+    for (const int b : moved) {
+      move_bucket(b, restarted, /*offline_for=*/0);
+    }
+    moved.clear();
   }
 
   /// Executes the plan's precomputed crash schedule, one crash at a time
@@ -611,9 +802,14 @@ class StorageCluster {
           ev.victim_raw % static_cast<std::uint64_t>(servers_.size())));
       victim.crash();
       faults_->record(faults::FaultKind::kServerCrash, victim.index());
+      // Proactive map update: move the victim's buckets to healthy servers
+      // immediately, so most requests during the downtime pay only a
+      // redirect (stale map) instead of discovering the crash themselves.
+      reassign_off(victim.index(), /*throw_when_none_healthy=*/false);
       co_await sim_.delay(faults_->config().server_downtime);
       victim.restart();
       faults_->record(faults::FaultKind::kServerRestart, victim.index());
+      fail_back(victim.index());
       // Wake the restarted server's scrubber: any replica it hosts may have
       // missed commits (stale) or been torn by the crash.
       scrub_gates_[static_cast<std::size_t>(victim.index())]->set();
@@ -635,6 +831,22 @@ class StorageCluster {
   sim::FlowLimiter account_egress_;
   std::vector<std::unique_ptr<PartitionServer>> servers_;
   std::int64_t total_requests_ = 0;
+
+  // Partition map state. client_versions_ models each client endpoint's
+  // cached map version (keyed by NIC identity; never iterated, so the
+  // unordered container cannot affect event order). crash_moved_ remembers,
+  // per server, the buckets reassigned off it at crash time for fail-back.
+  PartitionMap map_;
+  std::vector<std::int64_t> bucket_requests_;
+  std::unordered_map<const netsim::Nic*, std::uint64_t> client_versions_;
+  std::vector<std::vector<int>> crash_moved_;
+  std::int64_t partition_moves_ = 0;
+  std::int64_t stale_map_redirects_ = 0;
+
+  // FIFO admission queue for ThrottleMode::kQueue: the next ticket to hand
+  // out and the ticket currently allowed to consume window budget.
+  std::uint64_t throttle_next_ticket_ = 0;
+  std::uint64_t throttle_front_ = 0;
 
   // Integrity state (quiescent unless a fault plan is armed).
   ReplicaStore store_;

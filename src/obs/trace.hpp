@@ -41,6 +41,7 @@ enum class SpanKind : std::uint8_t {
   kReplicaCommit,  // one replica's receive + append + commit ack
   kLogCommit,      // serialized message/partition log append (service side)
   kTask,           // one framework task: resolve + handler execution
+  kPartitionMove,  // one bucket reassignment incl. its unavailable window
   kCount,          // sentinel — number of kinds
 };
 
@@ -61,6 +62,7 @@ constexpr const char* span_kind_name(SpanKind k) noexcept {
     case SpanKind::kReplicaCommit: return "replica.commit";
     case SpanKind::kLogCommit: return "log.commit";
     case SpanKind::kTask: return "task";
+    case SpanKind::kPartitionMove: return "partition.move";
     case SpanKind::kCount: break;
   }
   return "unknown";

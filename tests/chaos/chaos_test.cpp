@@ -312,6 +312,76 @@ TEST(ChaosIntegrityTest, NoCorruptPayloadEverReachesAClient) {
   EXPECT_EQ(cluster.replica_store().divergent_replicas(), 0);
 }
 
+// ---------------------------------------- partition-balancer chaos ----
+
+/// The hostile cloud with the partition-map load balancer running on top of
+/// the crash/restart cycles: balancer moves, crash failover reassignments,
+/// and fail-backs all mutate the same map while the fleet is in flight.
+azure::CloudConfig balancer_chaos_cloud(std::uint64_t seed) {
+  azure::CloudConfig cfg = chaos_cloud(seed);
+  cfg.cluster.balancer.enabled = true;
+  cfg.cluster.balancer.epoch = sim::millis(250);
+  cfg.cluster.balancer.offload_threshold = 1.10;
+  cfg.cluster.balancer.max_moves_per_epoch = 8;
+  cfg.cluster.balancer.move_unavailable = sim::millis(5);
+  return cfg;
+}
+
+struct BalancerChaosResult {
+  sim::TimePoint final_time = 0;
+  std::uint64_t events = 0;
+  std::vector<faults::FaultRecord> fault_log;
+  std::int64_t deletes = 0;
+  std::int64_t moves = 0;
+  std::int64_t redirects = 0;
+  std::uint64_t map_version = 0;
+  bool operator==(const BalancerChaosResult&) const = default;
+};
+
+BalancerChaosResult run_balancer_chaos(std::uint64_t seed) {
+  TestWorld w(balancer_chaos_cloud(seed));
+  BalancerChaosResult r;
+  std::int64_t abandons = 0;
+  sim::WaitGroup wg(w.sim);
+  for (int i = 0; i < 16; ++i) {
+    wg.add();
+    w.sim.spawn(
+        fig6_chaos_worker(w, i, /*messages=*/6, abandons, r.deletes, wg));
+  }
+  w.sim.run();
+  r.final_time = w.sim.now();
+  r.events = w.sim.events_executed();
+  r.fault_log = w.env.fault_plan().log();
+  auto& cluster = w.env.storage_cluster();
+  r.moves = cluster.partition_moves();
+  r.redirects = cluster.stale_map_redirects();
+  r.map_version = cluster.partition_map().version();
+  return r;
+}
+
+TEST(ChaosBalancerTest, FleetCompletesWithBalancingAndCrashesInterleaved) {
+  const BalancerChaosResult r = run_balancer_chaos(chaos_flags::seed ^ 0xBA1);
+  // Completion despite moves, redirects, and crash/restart cycles: every
+  // worker drained its full batch through the default retry policy (which
+  // retries the PartitionMovedError redirects).
+  EXPECT_EQ(r.deletes, 16 * 6);
+  // Crash failover alone guarantees map churn: every crash reassigns the
+  // victim's buckets through move_bucket(), bumping the version.
+  EXPECT_GT(r.moves, 0);
+  EXPECT_GT(r.map_version, std::uint64_t{1});
+  EXPECT_EQ(std::int64_t{4},
+            std::count_if(r.fault_log.begin(), r.fault_log.end(),
+                          [](const faults::FaultRecord& f) {
+                            return f.kind == faults::FaultKind::kServerCrash;
+                          }));
+}
+
+TEST(ChaosBalancerTest, BalancedChaosRunsReplayByteIdentically) {
+  const BalancerChaosResult a = run_balancer_chaos(0xD15C);
+  const BalancerChaosResult b = run_balancer_chaos(0xD15C);
+  EXPECT_EQ(a, b);  // time, events, fault log, moves, map version — all of it
+}
+
 // ---------------------------------------------- bag-of-tasks chaos ----
 
 TEST(ChaosBagOfTasksTest, CompletesDespiteCrashingHandlers) {
