@@ -31,6 +31,25 @@ run_config() {
   echo "=== partition ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L partition
   "${dir}/bench/bench_ext_partition_lb" --smoke
+  # The parallel-kernel suite re-runs by label: the byte-parity contract
+  # (threads=N identical to threads=1) must hold under sanitizers too.
+  echo "=== parallel ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L parallel
+}
+
+# TSan config: builds only the parallel-kernel suite and runs it under
+# ThreadSanitizer. This is the configuration that gates the hand-rolled
+# release/acquire protocol in src/simcore/parallel.{hpp,cpp} (mailbox
+# cursors, published eot bounds, in-flight accounting).
+run_tsan() {
+  local dir="build-ci-tsan"
+  echo "=== configure ${dir} (ThreadSanitizer) ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAZUREBENCH_SANITIZE_THREAD=ON
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}" --target parallel_test
+  echo "=== parallel under TSan ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L parallel
 }
 
 run_tidy() {
@@ -63,5 +82,6 @@ run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_tidy build-ci-release
 run_config build-ci-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAZUREBENCH_SANITIZE=ON
+run_tsan
 
 echo "=== all configurations green ==="

@@ -112,6 +112,41 @@ class StorageCluster {
   }
   faults::FaultPlan* fault_plan() const noexcept { return faults_; }
 
+  /// Crashes server `s` now: marks it down, records the fault, and
+  /// proactively reassigns its buckets across the healthy servers so most
+  /// requests during the downtime pay only a stale-map redirect. Shared by
+  /// the plan-driven crash driver and external chaos controllers (the
+  /// sharded kernel delivers fleet-wide crash schedules as cross-domain
+  /// events, see core/sharded_world.cpp).
+  void crash_server(int s) {
+    PartitionServer& victim = server(s);
+    victim.crash();
+    if (faults_ != nullptr) {
+      faults_->record(faults::FaultKind::kServerCrash, victim.index());
+    }
+    reassign_off(victim.index(), /*throw_when_none_healthy=*/false);
+  }
+
+  /// Restarts server `s`: marks it up, records the restart, fails its
+  /// pre-crash buckets back, and triggers the post-restart anti-entropy
+  /// scrub — via the parked per-server scrubber when the plan armed one,
+  /// else (externally driven crashes) as a one-shot delayed pass.
+  void restart_server(int s) {
+    PartitionServer& victim = server(s);
+    victim.restart();
+    if (faults_ != nullptr) {
+      faults_->record(faults::FaultKind::kServerRestart, victim.index());
+    }
+    fail_back(victim.index());
+    if (static_cast<std::size_t>(s) < scrub_gates_.size()) {
+      // Wake the restarted server's scrubber: any replica it hosts may have
+      // missed commits (stale) or been torn by the crash.
+      scrub_gates_[static_cast<std::size_t>(s)]->set();
+    } else if (faults_ != nullptr) {
+      sim_.spawn(post_restart_scrub(s), "scrub-once");
+    }
+  }
+
   /// The integrity ledger (which generation/checksum each replica of each
   /// tracked object holds). Mutable access so tests can stage damage.
   ReplicaStore& replica_store() noexcept { return store_; }
@@ -793,26 +828,23 @@ class StorageCluster {
     moved.clear();
   }
 
+  /// One-shot settling-delay + scrub pass, for restarts driven from outside
+  /// the plan's own crash schedule (no parked scrubber to wake).
+  sim::Task<void> post_restart_scrub(int s) {
+    co_await sim_.delay(cfg_.scrub_delay);
+    co_await scrub_server(s);
+  }
+
   /// Executes the plan's precomputed crash schedule, one crash at a time
   /// (the downtime serializes crashes, so at most one server is down).
   sim::Task<void> crash_driver() {
     for (const faults::FaultPlan::CrashEvent& ev : faults_->crash_schedule()) {
       co_await sim_.delay(ev.after_previous);
-      PartitionServer& victim = server(static_cast<int>(
-          ev.victim_raw % static_cast<std::uint64_t>(servers_.size())));
-      victim.crash();
-      faults_->record(faults::FaultKind::kServerCrash, victim.index());
-      // Proactive map update: move the victim's buckets to healthy servers
-      // immediately, so most requests during the downtime pay only a
-      // redirect (stale map) instead of discovering the crash themselves.
-      reassign_off(victim.index(), /*throw_when_none_healthy=*/false);
+      const int victim = static_cast<int>(
+          ev.victim_raw % static_cast<std::uint64_t>(servers_.size()));
+      crash_server(victim);
       co_await sim_.delay(faults_->config().server_downtime);
-      victim.restart();
-      faults_->record(faults::FaultKind::kServerRestart, victim.index());
-      fail_back(victim.index());
-      // Wake the restarted server's scrubber: any replica it hosts may have
-      // missed commits (stale) or been torn by the crash.
-      scrub_gates_[static_cast<std::size_t>(victim.index())]->set();
+      restart_server(victim);
     }
     // Schedule exhausted: release every parked scrubber so no coroutine is
     // left suspended on a gate when the simulation drains (Gate asserts it

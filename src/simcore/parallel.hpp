@@ -1,0 +1,275 @@
+// Sharded parallel DES kernel: domain-partitioned event queues synchronized
+// with conservative lookahead (Chandy–Misra–Bryant style).
+//
+// The simulation is split into `domains` logical shards. Each domain owns a
+// complete sequential sim::Simulation — its own 4-ary-heap event queue, its
+// own frame-pool arena, and (at the harness layer) its own forked RNG
+// streams — so domains share no mutable state and can execute concurrently.
+// Cross-domain interaction goes exclusively through post(): a callable
+// stamped (at, src_domain, seq) travels over a bounded SPSC mailbox and is
+// merged into the destination's timeline at `at`.
+//
+// Synchronization is conservative and barrier-free. Every send must be at
+// least `lookahead` of virtual time in the future (lookahead is derived from
+// the minimum inter-domain link latency, netsim::min_link_latency), so each
+// domain can publish an earliest-output-time bound
+//
+//     eot(d) = min(next_event_time(d), min over s != d of eot(s)) + lookahead
+//
+// before executing anything: no message it will ever emit — whether caused
+// by an event already queued locally or by a message it has not received
+// yet — can be stamped earlier. (The second min term is what makes the bound
+// transitively safe: a domain with an empty queue still cannot run ahead of
+// messages in flight toward it, and the per-round republication of this
+// fixed point plays the role of CMB null messages.) A domain may then safely
+// execute all events with
+//
+//     at < safe(d) = min over s != d of eot(s)
+//
+// in rounds, with no global barrier — each domain advances as far as its
+// neighbours' published bounds allow. Published bounds are monotone
+// non-decreasing, and a sender always pushes a message before (release-)
+// storing the bound covering it, so a receiver that loads bounds before
+// draining can never miss a message those bounds promise.
+//
+// Determinism contract: the merge order at a domain is the total order
+// (at, source, sequence), with cross-domain messages winning ties against
+// local events at equal `at` (a message stamped T was emitted at most
+// T - lookahead, strictly before any local event created at T). That order
+// is a function of the domain decomposition and the scenario only — never of
+// the number of worker threads or of wall-clock interleaving — so a
+// `threads=N` run is byte-identical to the `threads=1` run of the same
+// decomposition (see tests/parallel_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "simcore/frame_pool.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace sim::par {
+
+namespace detail {
+
+/// One cross-domain message: run `fn` in the destination domain at `at`.
+/// (at, src, seq) is the deterministic merge key; seq counts sends per
+/// source domain, so the key is unique and decomposition-deterministic.
+struct CrossEvent {
+  TimePoint at = 0;
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+/// Merge order at the destination: earliest timestamp first, ties broken by
+/// (src, seq). Used as a max-heap comparator (std::push_heap), so "greater".
+struct CrossEventAfter {
+  bool operator()(const CrossEvent& a, const CrossEvent& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    if (a.src != b.src) return a.src > b.src;
+    return a.seq > b.seq;
+  }
+};
+
+/// Bounded single-producer single-consumer ring with a mutex-protected
+/// overflow spill. The spill keeps post() non-blocking when a burst
+/// overruns the ring — mandatory when one worker thread runs both endpoint
+/// domains (threads < domains), where blocking on a full ring would
+/// deadlock. Producer = the worker executing the source domain; consumer =
+/// the worker executing the destination domain (domain→worker assignment is
+/// static, so both roles are single-threaded).
+class Mailbox {
+ public:
+  static constexpr std::size_t kRingCapacity = 1024;
+
+  Mailbox() : ring_(kRingCapacity) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void push(CrossEvent&& ev) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h < ring_.size()) {
+      ring_[t % ring_.size()] = std::move(ev);
+      tail_.store(t + 1, std::memory_order_release);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(spill_mu_);
+    spill_.push_back(std::move(ev));
+    ++spilled_;
+    has_spill_.store(true, std::memory_order_release);
+  }
+
+  /// Moves every queued message into `out` (appending). Consumer-side only.
+  void drain(std::vector<CrossEvent>& out) {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    while (h != t) {
+      out.push_back(std::move(ring_[h % ring_.size()]));
+      ++h;
+    }
+    head_.store(h, std::memory_order_release);
+    if (has_spill_.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(spill_mu_);
+      for (CrossEvent& ev : spill_) out.push_back(std::move(ev));
+      spill_.clear();
+      has_spill_.store(false, std::memory_order_release);
+    }
+  }
+
+  /// Messages that overflowed into the spill so far (contention metric).
+  std::int64_t spilled() const noexcept { return spilled_; }
+
+ private:
+  std::vector<CrossEvent> ring_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  std::mutex spill_mu_;
+  std::vector<CrossEvent> spill_;
+  std::atomic<bool> has_spill_{false};
+  std::int64_t spilled_ = 0;  // producer-side only
+};
+
+}  // namespace detail
+
+/// The parallel executor: owns one sim::Simulation per domain and drives
+/// them on std::jthreads under the conservative-lookahead protocol above.
+///
+/// Thread affinity is static — domain d is always executed by worker
+/// d % threads — so each domain's Simulation, frame arena, and mailbox
+/// endpoints stay single-threaded. All cross-thread visibility goes through
+/// the mailbox cursors and the published eot atomics (release/acquire).
+class ShardedSimulation {
+ public:
+  explicit ShardedSimulation(const Simulation::Options& opt);
+  ~ShardedSimulation();
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  int domains() const noexcept { return static_cast<int>(doms_.size()); }
+  int threads() const noexcept { return threads_; }
+  Duration lookahead() const noexcept { return opt_.lookahead; }
+
+  Simulation& domain(int d) { return doms_[index(d)]->sim; }
+  const Simulation& domain(int d) const { return doms_[index(d)]->sim; }
+
+  /// The frame arena backing domain `d`'s coroutine frames (test hook).
+  const sim::detail::FramePool::Arena& arena(int d) const {
+    return doms_[index(d)]->arena;
+  }
+
+  /// Schedules `fn` to run inside domain `dst` at virtual time `at`.
+  /// Must be issued from code executing inside domain `src` (or from the
+  /// setup thread before run()), and `at` must respect the lookahead:
+  /// at >= domain(src).now() + lookahead. Delivery order at `dst` is the
+  /// deterministic (at, src, seq) merge order.
+  template <class F>
+  void post(int src, int dst, TimePoint at, F&& fn) {
+    Domain& s = *doms_[index(src)];
+    (void)index(dst);
+    if (at < s.sim.now() + opt_.lookahead) {
+      throw std::logic_error(
+          "ShardedSimulation::post violates the conservative lookahead: "
+          "cross-domain sends must be >= lookahead in the future");
+    }
+    detail::CrossEvent ev{at, static_cast<std::uint32_t>(src), s.send_seq++,
+                          std::function<void()>(std::forward<F>(fn))};
+    // Count the message in flight before it becomes visible; the receiver
+    // uncounts it only after republishing a finite eot that covers it, so
+    // the termination check (inflight == 0 and all eots == never) can never
+    // observe a quiescent-looking system with a message still in the air.
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    mail_[mailbox_index(src, dst)]->push(std::move(ev));
+  }
+
+  /// Runs every domain to completion (all queues empty, no messages in
+  /// flight). Rethrows the first shard failure, smallest domain id first.
+  /// Callable repeatedly: processes spawned after a run() extend the world.
+  void run();
+
+  /// Events executed across all domains, including delivered cross-domain
+  /// messages — invariant across thread counts for a fixed decomposition.
+  std::uint64_t events_executed() const;
+
+  /// Cross-domain messages delivered so far.
+  std::uint64_t cross_events_delivered() const noexcept {
+    return cross_delivered_.load(std::memory_order_relaxed);
+  }
+
+  /// Messages that overflowed a mailbox ring into its spill.
+  std::int64_t mailbox_spills() const;
+
+  /// Largest domain clock — the virtual makespan of the run.
+  TimePoint max_now() const;
+
+ private:
+  struct Domain {
+    Simulation sim;
+    sim::detail::FramePool::Arena arena;
+    std::vector<detail::CrossEvent> staging;  // heap, CrossEventAfter order
+    std::uint64_t send_seq = 0;               // stamps for sends FROM here
+    std::exception_ptr error{};
+    alignas(64) std::atomic<TimePoint> eot{0};
+    /// True when the domain had nothing pending (local or staged) at its
+    /// last bound publication. Termination is detected from these flags
+    /// plus the in-flight count — not from the eot fixed point, which
+    /// creeps upward in lookahead increments instead of reaching kNever.
+    std::atomic<bool> drained_empty{false};
+  };
+
+  std::size_t index(int d) const {
+    assert(d >= 0 && d < domains() && "domain id out of range");
+    return static_cast<std::size_t>(d);
+  }
+  std::size_t mailbox_index(int src, int dst) const {
+    return index(src) * doms_.size() + index(dst);
+  }
+
+  /// One execution round for domain `d`; returns true if it made progress
+  /// (drained, executed, or raised its published bound — the last counts
+  /// because the eot fixed point converges over rounds). Called only by
+  /// worker d % threads.
+  bool run_domain_round(int d);
+
+  /// Publishes domain `d`'s earliest-output-time bound from its current
+  /// next event (local queue merged with staged messages).
+  TimePoint staged_min(const Domain& dom) const noexcept {
+    return dom.staging.empty() ? Simulation::kNever : dom.staging.front().at;
+  }
+
+  void worker_loop(int w);
+  void signal_progress();
+  bool quiescent() const;
+  void fail(int d, std::exception_ptr err);
+
+  Simulation::Options opt_;
+  int threads_ = 1;
+  std::vector<std::unique_ptr<Domain>> doms_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mail_;  // [src * D + dst]
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::uint64_t> cross_delivered_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> aborted_{false};
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+  std::atomic<std::uint64_t> progress_version_{0};
+  /// Workers currently parked in the idle wait. signal_progress() skips the
+  /// mutex + notify entirely while this is zero, keeping the productive
+  /// round path free of futex traffic.
+  std::atomic<int> idle_waiters_{0};
+};
+
+}  // namespace sim::par

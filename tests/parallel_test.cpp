@@ -1,0 +1,386 @@
+// The parallel kernel's contract suite (ctest -L parallel):
+//
+//  * FramePool arena isolation — per-domain free lists never alias across
+//    scopes (the multi-domain regression the shared-free-list pool failed);
+//  * mailbox semantics — order preservation, spill overflow, counters;
+//  * kernel validation — option and lookahead violations throw;
+//  * determinism — a synthetic cross-domain workload and the full sharded
+//    cloud scenario (plain + chaos, queue + table) produce byte-identical
+//    outputs for threads=1 and threads=N, replayed twice each;
+//  * remote_call — value, exception, and timing semantics across domains.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/sharded_world.hpp"
+#include "netsim/domain_link.hpp"
+#include "simcore/frame_pool.hpp"
+#include "simcore/parallel.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace {
+
+using sim::detail::FramePool;
+
+// ------------------------------------------------------------ frame pool ----
+
+TEST(FramePoolArenaTest, ScopedArenasDoNotShareFreeLists) {
+  FramePool::Arena a;
+  FramePool::Arena b;
+  constexpr std::size_t kSize = 256;
+
+  void* pa = nullptr;
+  {
+    FramePool::Scope scope(a);
+    pa = FramePool::allocate(kSize);
+    FramePool::deallocate(pa, kSize);  // cached in a's free list
+  }
+  EXPECT_GT(a.cached(kSize), 0u);
+
+  // The aliasing regression: with a shared free list, b's allocation would
+  // return the block a just cached while a still considers it reusable.
+  void* pb = nullptr;
+  {
+    FramePool::Scope scope(b);
+    pb = FramePool::allocate(kSize);
+    EXPECT_NE(pb, pa) << "arena B must not serve a block cached by arena A";
+  }
+  EXPECT_GT(a.cached(kSize), 0u)
+      << "arena A's cache must be untouched by arena B's allocation";
+
+  // A's cached block is still valid and comes back on A's next allocation.
+  {
+    FramePool::Scope scope(a);
+    void* again = FramePool::allocate(kSize);
+    EXPECT_EQ(again, pa);
+    FramePool::deallocate(again, kSize);
+  }
+  {
+    FramePool::Scope scope(b);
+    FramePool::deallocate(pb, kSize);
+  }
+}
+
+TEST(FramePoolArenaTest, ScopeRestoresPreviousBinding) {
+  FramePool::Arena outer;
+  FramePool::Arena inner;
+  FramePool::Scope a(outer);
+  void* p1 = nullptr;
+  {
+    FramePool::Scope b(inner);
+    p1 = FramePool::allocate(128);
+    FramePool::deallocate(p1, 128);
+  }
+  // Back under `outer`: the block cached by `inner` must not surface.
+  void* p2 = FramePool::allocate(128);
+  EXPECT_EQ(inner.cached(128), 1u);
+  FramePool::deallocate(p2, 128);
+  EXPECT_GT(outer.cached(128), 0u);
+}
+
+// --------------------------------------------------------------- mailbox ----
+
+sim::par::detail::CrossEvent make_event(sim::TimePoint at, std::uint64_t seq) {
+  sim::par::detail::CrossEvent ev;
+  ev.at = at;
+  ev.src = 0;
+  ev.seq = seq;
+  ev.fn = [] {};
+  return ev;
+}
+
+TEST(MailboxTest, PreservesPushOrderThroughRing) {
+  sim::par::detail::Mailbox mb;
+  for (std::uint64_t i = 0; i < 100; ++i) mb.push(make_event(10 * i, i));
+  std::vector<sim::par::detail::CrossEvent> out;
+  mb.drain(out);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(out[i].seq, i);
+  EXPECT_EQ(mb.spilled(), 0);
+}
+
+TEST(MailboxTest, OverflowSpillsWithoutLosingEvents) {
+  sim::par::detail::Mailbox mb;
+  const std::size_t n = sim::par::detail::Mailbox::kRingCapacity + 500;
+  for (std::uint64_t i = 0; i < n; ++i) mb.push(make_event(i, i));
+  EXPECT_EQ(mb.spilled(), 500);
+  std::vector<sim::par::detail::CrossEvent> out;
+  mb.drain(out);
+  ASSERT_EQ(out.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const auto& ev : out) seen[static_cast<std::size_t>(ev.seq)] = true;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(seen[i]) << i;
+  // Drained mailbox is reusable.
+  mb.push(make_event(1, 1));
+  out.clear();
+  mb.drain(out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// ------------------------------------------------------------ validation ----
+
+TEST(ShardedSimulationTest, RejectsMultiDomainWithoutLookahead) {
+  sim::Simulation::Options opt;
+  opt.domains = 2;
+  opt.lookahead = 0;
+  EXPECT_THROW(sim::par::ShardedSimulation{opt}, std::invalid_argument);
+}
+
+TEST(ShardedSimulationTest, RejectsPostBelowLookahead) {
+  sim::Simulation::Options opt;
+  opt.domains = 2;
+  opt.lookahead = sim::millis(1);
+  sim::par::ShardedSimulation shards(opt);
+  EXPECT_THROW(shards.post(0, 1, sim::micros(999), [] {}),
+               std::logic_error);
+  EXPECT_NO_THROW(shards.post(0, 1, sim::millis(1), [] {}));
+  shards.run();
+  EXPECT_EQ(shards.cross_events_delivered(), 1u);
+}
+
+// ---------------------------------------------- synthetic determinism ----
+
+struct SyntheticResult {
+  std::vector<int> order;  // delivery order observed at domain 0
+  std::uint64_t events = 0;
+  sim::TimePoint final_time = 0;
+  bool operator==(const SyntheticResult&) const = default;
+};
+
+/// Each domain pings tokens around the ring; every delivery at domain 0
+/// records its origin. The recorded order must be a pure function of the
+/// decomposition.
+SyntheticResult run_synthetic(int domains, int threads) {
+  sim::Simulation::Options opt;
+  opt.domains = domains;
+  opt.threads = threads;
+  opt.lookahead = sim::micros(100);
+  sim::par::ShardedSimulation shards(opt);
+  SyntheticResult r;
+
+  struct Token {
+    int origin;
+    int hops_left;
+  };
+  // Launcher processes: domain d emits 3 tokens with staggered cadence.
+  for (int d = 0; d < domains; ++d) {
+    auto launcher = [](sim::par::ShardedSimulation& s, int d,
+                       SyntheticResult& r) -> sim::Task<void> {
+      const int n = s.domains();
+      for (int t = 0; t < 3; ++t) {
+        co_await s.domain(d).delay(sim::micros(50 + 37 * d + 11 * t));
+        // Forward a token around the ring; each hop re-posts from the
+        // receiving domain until it lands back at 0.
+        struct Hop {
+          sim::par::ShardedSimulation* s;
+          SyntheticResult* r;
+          int origin;
+          int at_domain;
+          int hops_left;
+          void operator()() const {
+            if (at_domain == 0) r->order.push_back(origin * 100 + hops_left);
+            if (hops_left == 0) return;
+            const int next = (at_domain + 1) % s->domains();
+            s->post(at_domain, next,
+                    s->domain(at_domain).now() + s->lookahead(),
+                    Hop{s, r, origin, next, hops_left - 1});
+          }
+        };
+        const int next = (d + 1) % n;
+        s.post(d, next, s.domain(d).now() + s.lookahead(),
+               Hop{&s, &r, d, next, n + 1});
+      }
+    };
+    shards.domain(d).spawn(launcher(shards, d, r));
+  }
+  shards.run();
+  r.events = shards.events_executed();
+  r.final_time = shards.max_now();
+  return r;
+}
+
+TEST(ShardedSimulationTest, SyntheticWorkloadIsThreadCountInvariant) {
+  const SyntheticResult seq = run_synthetic(4, 1);
+  EXPECT_FALSE(seq.order.empty());
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(run_synthetic(4, 1), seq) << "sequential replay " << rep;
+    EXPECT_EQ(run_synthetic(4, 4), seq) << "parallel replay " << rep;
+  }
+  EXPECT_EQ(run_synthetic(4, 2), seq) << "fewer threads than domains";
+}
+
+// ------------------------------------------------------------ remote RPC ----
+
+struct RpcProbe {
+  int value = 0;
+  sim::TimePoint issued = 0;
+  sim::TimePoint returned = 0;
+  bool threw = false;
+};
+
+sim::Task<void> rpc_caller(sim::par::ShardedSimulation& shards,
+                           netsim::DomainLink& req, netsim::DomainLink& resp,
+                           RpcProbe& probe, bool fail) {
+  probe.issued = shards.domain(0).now();
+  try {
+    probe.value = co_await netsim::remote_call<int>(
+        req, resp, 4096, 64, [&shards, fail]() -> sim::Task<int> {
+          co_await shards.domain(1).delay(sim::millis(2));
+          if (fail) throw std::runtime_error("remote boom");
+          co_return 42;
+        });
+  } catch (const std::runtime_error&) {
+    probe.threw = true;
+  }
+  probe.returned = shards.domain(0).now();
+}
+
+TEST(DomainLinkTest, RemoteCallReturnsValueAndPaysTwoLinkLatencies) {
+  sim::Simulation::Options opt;
+  opt.domains = 2;
+  opt.lookahead = sim::millis(1);
+  sim::par::ShardedSimulation shards(opt);
+  netsim::DomainLink req(shards, 0, 1);
+  netsim::DomainLink resp(shards, 1, 0);
+  RpcProbe probe;
+  shards.domain(0).spawn(rpc_caller(shards, req, resp, probe, false));
+  shards.run();
+  EXPECT_EQ(probe.value, 42);
+  EXPECT_FALSE(probe.threw);
+  // Two 1 ms link hops plus 2 ms of remote service time, plus link
+  // occupancy: strictly more than 4 ms after issue.
+  EXPECT_GE(probe.returned - probe.issued, sim::millis(4));
+  EXPECT_EQ(req.transfers(), 1);
+  EXPECT_EQ(resp.transfers(), 1);
+}
+
+TEST(DomainLinkTest, RemoteExceptionPropagatesToCaller) {
+  sim::Simulation::Options opt;
+  opt.domains = 2;
+  opt.lookahead = sim::millis(1);
+  sim::par::ShardedSimulation shards(opt);
+  netsim::DomainLink req(shards, 0, 1);
+  netsim::DomainLink resp(shards, 1, 0);
+  RpcProbe probe;
+  shards.domain(0).spawn(rpc_caller(shards, req, resp, probe, true));
+  shards.run();
+  EXPECT_TRUE(probe.threw);
+  EXPECT_EQ(probe.value, 0);
+}
+
+// ------------------------------------------------- sharded cloud parity ----
+
+azurebench::ShardedCloudConfig small_cloud() {
+  azurebench::ShardedCloudConfig cfg;
+  cfg.domains = 4;
+  cfg.total_servers = 16;
+  cfg.total_workers = 8;
+  cfg.ops_per_worker = 5;
+  cfg.observe = true;
+  return cfg;
+}
+
+void expect_parity(azurebench::ShardedCloudConfig cfg, const char* what) {
+  cfg.threads = 1;
+  const azurebench::ShardedCloudResult seq = azurebench::run_sharded_cloud(cfg);
+  EXPECT_GT(seq.events_executed, 0u) << what;
+  EXPECT_GT(seq.cross_events, 0u) << what;
+  for (int rep = 0; rep < 2; ++rep) {
+    cfg.threads = 1;
+    const auto seq2 = azurebench::run_sharded_cloud(cfg);
+    EXPECT_TRUE(seq.outputs_equal(seq2))
+        << what << ": sequential replay " << rep << " diverged";
+    cfg.threads = cfg.domains;
+    const auto par = azurebench::run_sharded_cloud(cfg);
+    EXPECT_TRUE(seq.outputs_equal(par))
+        << what << ": parallel replay " << rep
+        << " diverged from sequential.\nseq:\n"
+        << seq.figure_table << "par:\n" << par.figure_table;
+    EXPECT_EQ(seq.obs_json, par.obs_json) << what;
+    EXPECT_EQ(seq.figure_table, par.figure_table) << what;
+    EXPECT_EQ(seq.fault_log, par.fault_log) << what;
+  }
+}
+
+TEST(ShardedCloudParityTest, QueueScenario) {
+  expect_parity(small_cloud(), "queue");
+}
+
+TEST(ShardedCloudParityTest, QueueChaosScenario) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.chaos = true;
+  cfg.total_crashes = 2;
+  cfg.crash_mean_interval = sim::millis(400);
+  cfg.server_downtime = sim::millis(150);
+  expect_parity(cfg, "queue-chaos");
+}
+
+TEST(ShardedCloudParityTest, TableScenario) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.mode = azurebench::ShardedCloudConfig::Mode::kTable;
+  expect_parity(cfg, "table");
+}
+
+// Regression: the remote table upsert used to move the entity into the
+// retry factory, so any retried attempt re-submitted a moved-from entity
+// with empty keys (InvalidArgumentError). Aggressive link faults force
+// retries on the cross-shard inserts.
+TEST(ShardedCloudParityTest, TableChaosScenario) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.mode = azurebench::ShardedCloudConfig::Mode::kTable;
+  cfg.ops_per_worker = 20;
+  cfg.chaos = true;
+  cfg.total_crashes = 2;
+  cfg.crash_mean_interval = sim::millis(400);
+  cfg.server_downtime = sim::millis(150);
+  cfg.drop_probability = 0.15;
+  expect_parity(cfg, "table-chaos");
+}
+
+TEST(ShardedCloudParityTest, ChaosRunRecordsFaults) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.chaos = true;
+  cfg.total_crashes = 2;
+  cfg.crash_mean_interval = sim::millis(400);
+  cfg.server_downtime = sim::millis(150);
+  cfg.threads = cfg.domains;
+  const auto r = azurebench::run_sharded_cloud(cfg);
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  sim::TimePoint prev = 0;
+  for (const auto& [domain, rec] : r.fault_log) {
+    EXPECT_GE(rec.at, prev) << "fault log must be time-sorted";
+    prev = rec.at;
+    crashes += rec.kind == faults::FaultKind::kServerCrash ? 1 : 0;
+    restarts += rec.kind == faults::FaultKind::kServerRestart ? 1 : 0;
+  }
+  EXPECT_EQ(crashes, 2);
+  EXPECT_EQ(restarts, 2);
+}
+
+TEST(ShardedCloudParityTest, FewerThreadsThanDomainsMatches) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.threads = 1;
+  const auto seq = azurebench::run_sharded_cloud(cfg);
+  cfg.threads = 3;  // domains=4 multiplexed onto 3 workers
+  const auto par = azurebench::run_sharded_cloud(cfg);
+  EXPECT_TRUE(seq.outputs_equal(par));
+}
+
+TEST(ShardedCloudParityTest, SingleDomainDegeneratesCleanly) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.domains = 1;
+  cfg.total_servers = 16;
+  cfg.total_workers = 8;
+  const auto r = azurebench::run_sharded_cloud(cfg);
+  EXPECT_GT(r.events_executed, 0u);
+  EXPECT_EQ(r.cross_events, 0u);  // no remote turns with a single shard
+  for (const auto& wstat : r.workers) EXPECT_EQ(wstat.remote_ops, 0);
+}
+
+}  // namespace
