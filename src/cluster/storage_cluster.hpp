@@ -129,8 +129,10 @@ class StorageCluster {
 
   /// Restarts server `s`: marks it up, records the restart, fails its
   /// pre-crash buckets back, and triggers the post-restart anti-entropy
-  /// scrub — via the parked per-server scrubber when the plan armed one,
-  /// else (externally driven crashes) as a one-shot delayed pass.
+  /// scrub — via the parked per-server scrubber when the plan armed one
+  /// and it is still running, else (externally driven crashes, or restarts
+  /// after the plan's own schedule released the scrubbers) as a one-shot
+  /// delayed pass.
   void restart_server(int s) {
     PartitionServer& victim = server(s);
     victim.restart();
@@ -138,11 +140,15 @@ class StorageCluster {
       faults_->record(faults::FaultKind::kServerRestart, victim.index());
     }
     fail_back(victim.index());
-    if (static_cast<std::size_t>(s) < scrub_gates_.size()) {
+    if (!scrub_shutdown_ && static_cast<std::size_t>(s) < scrub_gates_.size()) {
       // Wake the restarted server's scrubber: any replica it hosts may have
       // missed commits (stale) or been torn by the crash.
       scrub_gates_[static_cast<std::size_t>(s)]->set();
     } else if (faults_ != nullptr) {
+      // No parked scrubber to wake — either the plan never armed one, or
+      // the crash driver already exhausted its schedule and released them
+      // (scrub_shutdown_): setting an exited scrubber's gate would silently
+      // skip the scrub, so run it as a one-shot instead.
       sim_.spawn(post_restart_scrub(s), "scrub-once");
     }
   }

@@ -9,6 +9,14 @@ namespace {
 
 constexpr TimePoint kNever = Simulation::kNever;
 
+/// Multi-thread stall threshold: consecutive 2 ms idle-wait timeouts (summed
+/// across workers) with zero progress signals fleet-wide before the schedule
+/// is declared stalled. Scaled by the worker count in worker_loop, this is
+/// roughly two wall-clock seconds of every worker provably doing nothing —
+/// far beyond any transient (a worker mid-round publishes progress when it
+/// finishes, resetting the count), so it only fires on a real livelock.
+constexpr std::uint64_t kStallTimeoutsPerWorker = 1024;
+
 /// bound = t + lookahead, saturating at kNever.
 TimePoint bound_of(TimePoint t, Duration lookahead) noexcept {
   if (t >= kNever - lookahead) return kNever;
@@ -60,6 +68,7 @@ TimePoint ShardedSimulation::max_now() const {
 }
 
 void ShardedSimulation::signal_progress() {
+  inert_timeouts_.store(0, std::memory_order_relaxed);
   progress_version_.fetch_add(1, std::memory_order_release);
   if (idle_waiters_.load(std::memory_order_acquire) == 0) return;
   // A waiter between registering and parking holds the mutex; the empty
@@ -184,7 +193,16 @@ void ShardedSimulation::worker_loop(int w) {
         progress_version_.load(std::memory_order_acquire);
     bool progressed = false;
     for (int d = w; d < dcount; d += threads_) {
-      progressed = run_domain_round(d) || progressed;
+      // The try covers the whole round — drains and heap growth included,
+      // not just event execution — so an allocation failure surfaces as a
+      // shard error through fail() instead of escaping worker_loop and
+      // terminating the process via jthread.
+      try {
+        progressed = run_domain_round(d) || progressed;
+      } catch (...) {
+        fail(d, std::current_exception());
+        return;
+      }
     }
     // One signal per sweep, not per domain round: waiters re-read every
     // published bound when they wake, so batching wakeups loses nothing and
@@ -213,13 +231,32 @@ void ShardedSimulation::worker_loop(int w) {
     // catches progress published while this worker was sweeping, so a
     // signal is never lost; the timeout only bounds staleness if the
     // progress accounting ever under-reports.
-    std::unique_lock<std::mutex> lock(progress_mu_);
-    idle_waiters_.fetch_add(1, std::memory_order_acq_rel);
-    progress_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
-      return progress_version_.load(std::memory_order_acquire) != seen ||
-             done_.load(std::memory_order_acquire);
-    });
-    idle_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    bool woke = false;
+    {
+      std::unique_lock<std::mutex> lock(progress_mu_);
+      idle_waiters_.fetch_add(1, std::memory_order_acq_rel);
+      woke = progress_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+        return progress_version_.load(std::memory_order_acquire) != seen ||
+               done_.load(std::memory_order_acquire);
+      });
+      idle_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (!woke) {
+      // Timed out with no progress published anywhere since this sweep
+      // began. Enough of these in a row (any signal_progress resets the
+      // count) means every worker is provably inert while the system is
+      // not quiescent — the multi-thread equivalent of the single-thread
+      // stall below, which would otherwise spin silently forever.
+      const std::uint64_t inert =
+          inert_timeouts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (inert >= kStallTimeoutsPerWorker *
+                       static_cast<std::uint64_t>(threads_)) {
+        fail(w, std::make_exception_ptr(std::logic_error(
+                    "ShardedSimulation: conservative schedule stalled "
+                    "(lookahead violated?)")));
+        return;
+      }
+    }
   }
 }
 

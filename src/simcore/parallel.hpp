@@ -42,6 +42,7 @@
 // decomposition (see tests/parallel_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
@@ -175,11 +176,15 @@ class ShardedSimulation {
   /// Must be issued from code executing inside domain `src` (or from the
   /// setup thread before run()), and `at` must respect the lookahead:
   /// at >= domain(src).now() + lookahead. Delivery order at `dst` is the
-  /// deterministic (at, src, seq) merge order.
+  /// deterministic (at, src, seq) merge order. src == dst is allowed: the
+  /// message joins the same merge order, delivered before any local event
+  /// later than its stamp.
   template <class F>
   void post(int src, int dst, TimePoint at, F&& fn) {
+    if (src < 0 || src >= domains() || dst < 0 || dst >= domains()) {
+      throw std::out_of_range("ShardedSimulation::post: domain id out of range");
+    }
     Domain& s = *doms_[index(src)];
-    (void)index(dst);
     if (at < s.sim.now() + opt_.lookahead) {
       throw std::logic_error(
           "ShardedSimulation::post violates the conservative lookahead: "
@@ -187,6 +192,23 @@ class ShardedSimulation {
     }
     detail::CrossEvent ev{at, static_cast<std::uint32_t>(src), s.send_seq++,
                           std::function<void()>(std::forward<F>(fn))};
+    if (src == dst) {
+      // Self-posts must not take the mailbox path: mailboxes are drained
+      // only at round start, and the safe horizon is the minimum over the
+      // *other* domains' bounds, so a mailboxed self-post could sit
+      // undelivered while local events later than its stamp execute
+      // (generically up to now + 2*lookahead; unboundedly with a single
+      // domain). The posting thread owns this domain's staging heap, so
+      // staging the message directly keeps it in the same deterministic
+      // (at, src, seq) merge order while making it visible to the very
+      // next scheduling decision. No inflight accounting: it never leaves
+      // the domain, and the staged entry itself keeps the domain's
+      // drained_empty flag false until delivery.
+      s.staging.push_back(std::move(ev));
+      std::push_heap(s.staging.begin(), s.staging.end(),
+                     detail::CrossEventAfter{});
+      return;
+    }
     // Count the message in flight before it becomes visible; the receiver
     // uncounts it only after republishing a finite eot that covers it, so
     // the termination check (inflight == 0 and all eots == never) can never
@@ -270,6 +292,12 @@ class ShardedSimulation {
   /// mutex + notify entirely while this is zero, keeping the productive
   /// round path free of futex traffic.
   std::atomic<int> idle_waiters_{0};
+  /// Idle waits that timed out with no progress published anywhere since
+  /// the waiter's sweep began. Reset by every signal_progress(); reaching
+  /// the stall threshold turns a silent multi-thread livelock (a protocol
+  /// or lookahead violation) into the same logic_error the single-threaded
+  /// schedule raises.
+  std::atomic<std::uint64_t> inert_timeouts_{0};
 };
 
 }  // namespace sim::par

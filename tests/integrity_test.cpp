@@ -334,7 +334,29 @@ TEST(IntegrityRepairTest, CrashDuringScrubNeverDamagesHealthyState) {
   EXPECT_EQ(cluster.scrub_repairs(), 1);
 }
 
-// ------------------------------------------------- fault-free quiescence ----
+// Regression: once the plan's crash driver exhausts its schedule it
+// releases the parked scrubbers (they exit). An externally driven restart
+// after that used to set the dead scrubber's gate — silently skipping the
+// post-restart scrub; it must fall through to the one-shot pass instead.
+TEST(IntegrityRepairTest, ExternalRestartAfterCrashScheduleStillScrubs) {
+  azure::CloudConfig cfg;
+  cfg.faults.server_crashes = 1;
+  cfg.faults.crash_mean_interval = sim::millis(50);
+  cfg.faults.server_downtime = sim::millis(100);
+  TestWorld w(cfg);
+  auto& cluster = w.env.storage_cluster();
+  // Run the plan's own schedule to exhaustion: the crash driver releases
+  // the scrubbers at the instant of the last restart, so they exit.
+  w.sim.run();
+  const std::int64_t plan_passes = cluster.scrub_passes();
+
+  // An external chaos driver crashes and restarts a server after the
+  // plan-driven scrubbers are gone. The restart must still scrub.
+  cluster.crash_server(0);
+  cluster.restart_server(0);
+  w.sim.run();
+  EXPECT_EQ(cluster.scrub_passes(), plan_passes + 1);
+}
 
 TEST(IntegrityDisabledTest, FaultFreeRunsNeverTouchTheIntegrityMachinery) {
   TestWorld w;  // default config: fault plan disabled

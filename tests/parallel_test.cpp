@@ -143,6 +143,59 @@ TEST(ShardedSimulationTest, RejectsPostBelowLookahead) {
   EXPECT_EQ(shards.cross_events_delivered(), 1u);
 }
 
+TEST(ShardedSimulationTest, RejectsOutOfRangeDomainIds) {
+  sim::Simulation::Options opt;
+  opt.domains = 2;
+  opt.lookahead = sim::millis(1);
+  sim::par::ShardedSimulation shards(opt);
+  EXPECT_THROW(shards.post(0, 2, sim::millis(1), [] {}), std::out_of_range);
+  EXPECT_THROW(shards.post(0, -1, sim::millis(1), [] {}), std::out_of_range);
+  EXPECT_THROW(shards.post(2, 0, sim::millis(1), [] {}), std::out_of_range);
+  EXPECT_THROW(shards.post(-1, 1, sim::millis(1), [] {}), std::out_of_range);
+  shards.run();
+  EXPECT_EQ(shards.cross_events_delivered(), 0u);
+}
+
+// Regression: self-posts (src == dst) used to ride the mailbox, which is
+// drained only at round start while the safe horizon is derived from the
+// *other* domains' published bounds — so a local event later than the
+// self-post's stamp but below the horizon could execute first, and the
+// delivery then walked the domain clock backwards. The schedule below
+// reproduces the old failure deterministically: by the round in which the
+// posting event runs, the neighbour's bound has crept one lookahead past
+// the post's stamp, leaving the later local event inside the executable
+// window of that same round.
+TEST(ShardedSimulationTest, SelfPostMergesBeforeLaterLocalEvents) {
+  for (int threads = 1; threads <= 2; ++threads) {
+    sim::Simulation::Options opt;
+    opt.domains = 2;
+    opt.threads = threads;
+    opt.lookahead = sim::micros(100);
+    sim::par::ShardedSimulation shards(opt);
+    std::vector<int> order;
+    auto driver = [](sim::par::ShardedSimulation& s,
+                     std::vector<int>& order) -> sim::Task<void> {
+      co_await s.domain(0).delay(sim::micros(10));
+      co_await s.domain(0).delay(sim::micros(490));  // now = 500 us
+      s.post(0, 0, s.domain(0).now() + s.lookahead(),
+             [&order] { order.push_back(1); });  // self-post stamped 600 us
+      // Local event at 605 us: inside (stamp, stamp + lookahead).
+      co_await s.domain(0).delay(sim::micros(105));
+      order.push_back(2);
+    };
+    auto idler = [](sim::par::ShardedSimulation& s) -> sim::Task<void> {
+      // Keep domain 1 idle far in the future, so its bound creeps in
+      // lookahead increments and domain 0 runs deep ahead of its own clock.
+      co_await s.domain(1).delay(sim::millis(10));
+    };
+    shards.domain(0).spawn(driver(shards, order));
+    shards.domain(1).spawn(idler(shards));
+    shards.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2})) << "threads=" << threads;
+    EXPECT_EQ(shards.cross_events_delivered(), 1u);
+  }
+}
+
 // ---------------------------------------------- synthetic determinism ----
 
 struct SyntheticResult {
@@ -370,6 +423,44 @@ TEST(ShardedCloudParityTest, FewerThreadsThanDomainsMatches) {
   cfg.threads = 3;  // domains=4 multiplexed onto 3 workers
   const auto par = azurebench::run_sharded_cloud(cfg);
   EXPECT_TRUE(seq.outputs_equal(par));
+}
+
+// Regression: with a single domain every chaos command is a self-post, and
+// the safe horizon (the min over the *other* domains' bounds) is vacuously
+// unbounded — so the crash/restart events used to sit in the never-consulted
+// self-mailbox while the entire workload ran ahead of them, then land with
+// stamps far in the past. Fixed delivery puts each crash exactly at its
+// stamp and each restart exactly one downtime later.
+TEST(ShardedCloudParityTest, SingleDomainChaosDeliversSelfPostsOnTime) {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.domains = 1;
+  cfg.total_servers = 16;
+  cfg.total_workers = 8;
+  cfg.chaos = true;
+  cfg.total_crashes = 2;
+  cfg.crash_mean_interval = sim::millis(400);
+  cfg.server_downtime = sim::millis(150);
+  const auto r1 = azurebench::run_sharded_cloud(cfg);
+  std::vector<sim::TimePoint> crashes;
+  std::vector<sim::TimePoint> restarts;
+  for (const auto& [domain, rec] : r1.fault_log) {
+    if (rec.kind == faults::FaultKind::kServerCrash) {
+      crashes.push_back(rec.at);
+    } else if (rec.kind == faults::FaultKind::kServerRestart) {
+      restarts.push_back(rec.at);
+    }
+  }
+  ASSERT_EQ(crashes.size(), 2u);
+  ASSERT_EQ(restarts.size(), 2u);
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    EXPECT_EQ(restarts[i] - crashes[i], cfg.server_downtime)
+        << "injection " << i
+        << " was not delivered at its stamped time";
+  }
+  const auto r2 = azurebench::run_sharded_cloud(cfg);
+  EXPECT_TRUE(r1.outputs_equal(r2));
+  EXPECT_EQ(r1.figure_table, r2.figure_table);
+  EXPECT_EQ(r1.fault_log, r2.fault_log);
 }
 
 TEST(ShardedCloudParityTest, SingleDomainDegeneratesCleanly) {
