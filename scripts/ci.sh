@@ -35,6 +35,13 @@ run_config() {
   # (threads=N identical to threads=1) must hold under sanitizers too.
   echo "=== parallel ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L parallel
+  # The open-loop load suite re-runs by label (arrival statistics, admission
+  # window, session-pool lifecycle), and the saturation bench's smoke run
+  # proves the binary produces a byte-identical sweep (--selfcheck runs the
+  # populations twice and compares) in this configuration.
+  echo "=== load ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L load
+  "${dir}/bench/bench_ext_load" --smoke --selfcheck
 }
 
 # TSan config: builds only the parallel-kernel suite and runs it under
@@ -70,12 +77,13 @@ run_tidy() {
     # shellcheck disable=SC2086
     clang-tidy -p "${dir}" --quiet ${srcs}
   fi
-  # The obs layer is the newest subsystem and its hot path is all pointer
-  # and lifetime discipline — hold it to a hard bugprone-* gate (warnings
-  # fail the build) rather than the advisory repo-wide pass above.
-  echo "=== clang-tidy hard gate: src/obs ==="
+  # The obs layer and the load engine are the newest subsystems and their
+  # hot paths are all pointer and lifetime discipline — hold them to a hard
+  # bugprone-* gate (warnings fail the build) rather than the advisory
+  # repo-wide pass above.
+  echo "=== clang-tidy hard gate: src/obs + src/framework ==="
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='bugprone-*' \
-    src/obs/observer.cpp
+    src/obs/observer.cpp src/framework/load_engine.cpp
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release

@@ -55,6 +55,8 @@ struct World {
   std::vector<std::unique_ptr<netsim::DomainLink>> fwd;
   std::vector<std::unique_ptr<netsim::DomainLink>> rev;
   std::vector<ShardedWorkerStats> stats;
+  /// Open-loop mode: one generator engine per domain (empty otherwise).
+  std::vector<std::unique_ptr<framework::LoadEngine>> engines;
 };
 
 azure::RetryPolicy worker_policy(std::uint64_t jitter_seed) {
@@ -220,6 +222,110 @@ sim::Task<void> table_worker(World& w, int home, int id,
   }
 }
 
+// ------------------------------------------------------ open-loop load ----
+
+/// One open-loop session: a single storage op on the session's home shard,
+/// with every remote_every-th session (by arrival id, so the diversion is a
+/// pure function of the id) riding the inter-domain ring instead. Retries
+/// are bounded — a session that cannot land its op within the attempt
+/// budget dead-letters at the engine, which is exactly the accounting the
+/// chaos suite pins (completed + dead_lettered == admitted).
+azure::RetryPolicy session_policy(int home, std::int64_t id) {
+  azure::RetryPolicy p = worker_policy(
+      (static_cast<std::uint64_t>(home) << 32) ^
+      static_cast<std::uint64_t>(id));
+  p.max_attempts = 4;
+  return p;
+}
+
+bool is_remote_session(const World& w, std::int64_t id) {
+  return w.cfg.remote_every > 0 && w.cfg.domains > 1 &&
+         (id % w.cfg.remote_every) == w.cfg.remote_every - 1;
+}
+
+sim::Task<void> open_loop_session(World& w, int home,
+                                  framework::LoadEngine::Session& s,
+                                  ShardedWorkerStats& st) {
+  Shard& sh = w.shard[static_cast<std::size_t>(home)];
+  const azure::RetryPolicy policy = session_policy(home, s.id);
+  if (is_remote_session(w, s.id)) {
+    const int dst = (home + 1) % w.cfg.domains;
+    RemoteResult r =
+        w.cfg.mode == ShardedCloudConfig::Mode::kQueue
+            ? co_await netsim::remote_call<RemoteResult>(
+                  *w.fwd[static_cast<std::size_t>(home)],
+                  *w.rev[static_cast<std::size_t>(home)],
+                  w.cfg.message_bytes, 64,
+                  [wp = &w, dst, home, bytes = w.cfg.message_bytes] {
+                    return remote_queue_put(wp, dst, home, bytes);
+                  })
+            : co_await netsim::remote_call<RemoteResult>(
+                  *w.fwd[static_cast<std::size_t>(home)],
+                  *w.rev[static_cast<std::size_t>(home)],
+                  w.cfg.message_bytes, 64,
+                  [wp = &w, dst, home, op = static_cast<int>(s.id),
+                   bytes = w.cfg.message_bytes] {
+                    return remote_table_put(wp, dst, home, op, bytes);
+                  });
+    ++st.remote_ops;
+    ++st.puts;
+    st.retries += r.retries;
+  } else if (w.cfg.mode == ShardedCloudConfig::Mode::kQueue) {
+    auto q = sh.account->create_cloud_queue_client().get_queue_reference(
+        "open-inbox-" + std::to_string(home));
+    co_await azure::with_retry_counted(
+        *sh.sim, [&] { return q.create_if_not_exists(); }, policy,
+        st.retries);
+    co_await azure::with_retry_counted(
+        *sh.sim,
+        [&] {
+          return q.add_message(azure::Payload::synthetic(w.cfg.message_bytes));
+        },
+        policy, st.retries);
+    ++st.puts;
+  } else {
+    auto tbl = sh.account->create_cloud_table_client().get_table_reference(
+        "open-inbox-t-" + std::to_string(home));
+    co_await azure::with_retry_counted(
+        *sh.sim, [&] { return tbl.create_if_not_exists(); }, policy,
+        st.retries);
+    azure::TableEntity e;
+    e.partition_key = "s" + std::to_string(home);
+    e.row_key = std::to_string(s.id);
+    e.properties.emplace("data",
+                         azure::Payload::synthetic(w.cfg.message_bytes));
+    co_await azure::with_retry_counted(
+        *sh.sim, [&] { return tbl.insert_or_replace(e); }, policy,
+        st.retries);
+    ++st.puts;
+  }
+  // A dash of per-session think time (pure function of the session id's
+  // stream) so sessions overlap rather than lockstep on identical costs.
+  co_await sh.sim->delay(sim::micros(s.rng.uniform(50, 150)));
+}
+
+/// Builds domain `d`'s engine: per-domain Poisson arrivals (seed mixed with
+/// the domain id, so every shard offers an independent but reproducible
+/// stream) feeding open_loop_session bodies.
+std::unique_ptr<framework::LoadEngine> make_domain_engine(
+    World& w, int d, ShardedWorkerStats& st) {
+  framework::LoadEngineConfig ecfg;
+  ecfg.arrivals.kind = framework::ArrivalConfig::Kind::kPoisson;
+  ecfg.arrivals.rate_per_sec = w.cfg.arrivals_per_sec;
+  ecfg.arrivals.seed =
+      w.cfg.seed ^ (0x0A9Eull + static_cast<std::uint64_t>(d) * 0x9E37ull);
+  ecfg.max_sessions = w.cfg.sessions_per_domain;
+  ecfg.max_in_flight = w.cfg.session_window;
+  ecfg.max_pending = w.cfg.session_pending;
+  ecfg.session_seed =
+      w.cfg.seed ^ (0x5E55ull + static_cast<std::uint64_t>(d));
+  return std::make_unique<framework::LoadEngine>(
+      *w.shard[static_cast<std::size_t>(d)].sim, ecfg,
+      [wp = &w, d, stp = &st](framework::LoadEngine::Session& s) {
+        return open_loop_session(*wp, d, s, *stp);
+      });
+}
+
 // ---------------------------------------------------- chaos controller ----
 
 /// Runs in domain 0 and drives the fleet-wide crash schedule: victims are
@@ -280,21 +386,38 @@ void append_row(std::string& out, int shard, const ShardedWorkerStats& s,
 std::string render_figure_table(const World& w,
                                 const ShardedCloudResult& r) {
   std::string out;
+  const char* mode_name =
+      w.cfg.mode == ShardedCloudConfig::Mode::kQueue
+          ? (w.cfg.open_loop ? "queue-open" : "queue")
+          : (w.cfg.open_loop ? "table-open" : "table");
   char head[200];
-  std::snprintf(head, sizeof(head),
-                "sharded-cloud mode=%s domains=%d servers=%d workers=%d "
-                "ops=%lld bytes=%lld seed=%llu chaos=%d\n",
-                w.cfg.mode == ShardedCloudConfig::Mode::kQueue ? "queue"
-                                                              : "table",
-                w.cfg.domains, w.cfg.total_servers, w.cfg.total_workers,
-                static_cast<long long>(w.cfg.ops_per_worker),
-                static_cast<long long>(w.cfg.message_bytes),
-                static_cast<unsigned long long>(w.cfg.seed),
-                w.cfg.chaos ? 1 : 0);
+  if (w.cfg.open_loop) {
+    std::snprintf(head, sizeof(head),
+                  "sharded-cloud mode=%s domains=%d servers=%d "
+                  "sessions=%lld rate=%.1f window=%d bytes=%lld seed=%llu "
+                  "chaos=%d\n",
+                  mode_name, w.cfg.domains, w.cfg.total_servers,
+                  static_cast<long long>(w.cfg.sessions_per_domain),
+                  w.cfg.arrivals_per_sec, w.cfg.session_window,
+                  static_cast<long long>(w.cfg.message_bytes),
+                  static_cast<unsigned long long>(w.cfg.seed),
+                  w.cfg.chaos ? 1 : 0);
+  } else {
+    std::snprintf(head, sizeof(head),
+                  "sharded-cloud mode=%s domains=%d servers=%d workers=%d "
+                  "ops=%lld bytes=%lld seed=%llu chaos=%d\n",
+                  mode_name, w.cfg.domains, w.cfg.total_servers,
+                  w.cfg.total_workers,
+                  static_cast<long long>(w.cfg.ops_per_worker),
+                  static_cast<long long>(w.cfg.message_bytes),
+                  static_cast<unsigned long long>(w.cfg.seed),
+                  w.cfg.chaos ? 1 : 0);
+  }
   out += head;
   out += "shard     puts     gets     dels  retries   remote  faults"
          "      now_us\n";
-  const int workers_per_domain = w.cfg.total_workers / w.cfg.domains;
+  const int workers_per_domain =
+      w.cfg.open_loop ? 1 : w.cfg.total_workers / w.cfg.domains;
   ShardedWorkerStats total;
   std::int64_t total_faults = 0;
   for (int d = 0; d < w.cfg.domains; ++d) {
@@ -320,6 +443,26 @@ std::string render_figure_table(const World& w,
     total_faults += faults;
   }
   append_row(out, -1, total, total_faults, r.final_time);
+  // Open-loop mode: one admission/outcome line per domain engine — part of
+  // the byte-parity artifact, so the whole load ledger is thread-count
+  // invariant, not just the op counts.
+  for (std::size_t d = 0; d < r.load.size(); ++d) {
+    const framework::LoadStats& ls = r.load[d];
+    char lbuf[200];
+    std::snprintf(lbuf, sizeof(lbuf),
+                  "load %4zu offered=%lld admitted=%lld shed=%lld "
+                  "completed=%lld dlq=%lld busy=%lld peak_if=%lld "
+                  "peak_pend=%lld\n",
+                  d, static_cast<long long>(ls.offered),
+                  static_cast<long long>(ls.admitted),
+                  static_cast<long long>(ls.shed),
+                  static_cast<long long>(ls.completed),
+                  static_cast<long long>(ls.dead_lettered),
+                  static_cast<long long>(ls.throttle_failures),
+                  static_cast<long long>(ls.peak_in_flight),
+                  static_cast<long long>(ls.peak_pending));
+    out += lbuf;
+  }
   char tail[120];
   std::snprintf(tail, sizeof(tail),
                 "cross=%llu lookahead_us=%lld events=%llu\n",
@@ -344,6 +487,11 @@ ShardedCloudResult run_sharded_cloud(const ShardedCloudConfig& cfg) {
   if (cfg.ops_per_worker < 0 || cfg.message_bytes < 0 ||
       cfg.remote_every < 0) {
     throw std::invalid_argument("sharded cloud config out of range");
+  }
+  if (cfg.open_loop &&
+      (cfg.arrivals_per_sec <= 0.0 || cfg.sessions_per_domain < 1 ||
+       cfg.session_window < 1 || cfg.session_pending < 0)) {
+    throw std::invalid_argument("open-loop load config out of range");
   }
 
   World w;
@@ -398,20 +546,34 @@ ShardedCloudResult run_sharded_cloud(const ShardedCloudConfig& cfg) {
     }
   }
 
-  // Workers: contiguous blocks of global ids per shard, spawned in global id
-  // order so each domain's setup event sequence is fixed.
-  const int workers_per_domain = cfg.total_workers / cfg.domains;
-  w.stats.resize(static_cast<std::size_t>(cfg.total_workers));
-  for (int i = 0; i < cfg.total_workers; ++i) {
-    const int home = i / workers_per_domain;
-    Shard& sh = w.shard[static_cast<std::size_t>(home)];
-    ShardedWorkerStats& st = w.stats[static_cast<std::size_t>(i)];
-    if (cfg.mode == ShardedCloudConfig::Mode::kQueue) {
-      sh.sim->spawn(queue_worker(w, home, i, st),
-                    "worker-" + std::to_string(i));
-    } else {
-      sh.sim->spawn(table_worker(w, home, i, st),
-                    "worker-" + std::to_string(i));
+  if (cfg.open_loop) {
+    // Open-loop mode: one generator engine per domain replaces the worker
+    // fleet; stats holds a single aggregate entry per domain (every session
+    // on a shard funnels into its domain's entry, and all of them run on
+    // that shard's single-threaded simulation, so one writer per entry).
+    w.stats.resize(static_cast<std::size_t>(cfg.domains));
+    w.engines.reserve(static_cast<std::size_t>(cfg.domains));
+    for (int d = 0; d < cfg.domains; ++d) {
+      w.engines.push_back(make_domain_engine(
+          w, d, w.stats[static_cast<std::size_t>(d)]));
+      w.engines.back()->start();
+    }
+  } else {
+    // Workers: contiguous blocks of global ids per shard, spawned in global
+    // id order so each domain's setup event sequence is fixed.
+    const int workers_per_domain = cfg.total_workers / cfg.domains;
+    w.stats.resize(static_cast<std::size_t>(cfg.total_workers));
+    for (int i = 0; i < cfg.total_workers; ++i) {
+      const int home = i / workers_per_domain;
+      Shard& sh = w.shard[static_cast<std::size_t>(home)];
+      ShardedWorkerStats& st = w.stats[static_cast<std::size_t>(i)];
+      if (cfg.mode == ShardedCloudConfig::Mode::kQueue) {
+        sh.sim->spawn(queue_worker(w, home, i, st),
+                      "worker-" + std::to_string(i));
+      } else {
+        sh.sim->spawn(table_worker(w, home, i, st),
+                      "worker-" + std::to_string(i));
+      }
     }
   }
   if (cfg.chaos && cfg.total_crashes > 0) {
@@ -427,6 +589,7 @@ ShardedCloudResult run_sharded_cloud(const ShardedCloudConfig& cfg) {
   r.cross_events = shards.cross_events_delivered();
   r.final_time = shards.max_now();
   r.workers = std::move(w.stats);
+  for (const auto& eng : w.engines) r.load.push_back(eng->stats());
   r.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
 

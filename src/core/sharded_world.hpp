@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "framework/load_engine.hpp"
 #include "simcore/time.hpp"
 
 namespace azurebench {
@@ -68,6 +69,25 @@ struct ShardedCloudConfig {
   /// Attach one Observer per domain and render the deterministic merged
   /// JSON into ShardedCloudResult::obs_json.
   bool observe = false;
+
+  // -------------------------------------------------- open-loop load ----
+  /// Replace the closed-loop worker fleet with one open-loop load engine
+  /// per domain (framework/load_engine.hpp): seeded Poisson arrivals spawn
+  /// short-lived pooled sessions, each running a single queue/table op
+  /// (with the same every-remote_every-th cross-shard diversion as the
+  /// workers). total_workers and ops_per_worker are ignored in this mode;
+  /// ShardedCloudResult::workers holds one per-domain aggregate entry and
+  /// ShardedCloudResult::load the per-domain engine stats.
+  bool open_loop = false;
+  /// Per-domain offered arrival rate (sessions per second of virtual time).
+  double arrivals_per_sec = 2000.0;
+  /// Arrivals each domain's generator offers before stopping.
+  std::int64_t sessions_per_domain = 200;
+  /// Per-domain admission window (concurrent sessions).
+  int session_window = 64;
+  /// Per-domain bounded admission backlog; arrivals beyond window + backlog
+  /// are shed (counted, never executed).
+  int session_pending = 256;
 };
 
 struct ShardedWorkerStats {
@@ -83,7 +103,11 @@ struct ShardedCloudResult {
   std::uint64_t events_executed = 0;
   std::uint64_t cross_events = 0;
   sim::TimePoint final_time = 0;  // max over domain clocks
-  std::vector<ShardedWorkerStats> workers;  // indexed by global worker id
+  /// Closed-loop mode: indexed by global worker id. Open-loop mode: one
+  /// aggregate entry per domain (sessions have no stable global index).
+  std::vector<ShardedWorkerStats> workers;
+  /// Per-domain load-engine stats (empty unless cfg.open_loop).
+  std::vector<framework::LoadStats> load;
   /// Merged fleet fault log: (domain, record), sorted by (at, domain,
   /// per-domain index) — the deterministic cross-shard order.
   std::vector<std::pair<int, faults::FaultRecord>> fault_log;
@@ -101,8 +125,8 @@ struct ShardedCloudResult {
     return events_executed == other.events_executed &&
            cross_events == other.cross_events &&
            final_time == other.final_time && workers == other.workers &&
-           fault_log == other.fault_log && obs_json == other.obs_json &&
-           figure_table == other.figure_table;
+           load == other.load && fault_log == other.fault_log &&
+           obs_json == other.obs_json && figure_table == other.figure_table;
   }
 };
 

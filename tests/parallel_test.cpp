@@ -395,6 +395,71 @@ TEST(ShardedCloudParityTest, TableChaosScenario) {
   expect_parity(cfg, "table-chaos");
 }
 
+// ----------------------------------------------- open-loop load parity ----
+
+azurebench::ShardedCloudConfig open_loop_cloud() {
+  azurebench::ShardedCloudConfig cfg = small_cloud();
+  cfg.open_loop = true;
+  cfg.arrivals_per_sec = 500.0;
+  cfg.sessions_per_domain = 40;
+  cfg.session_window = 8;
+  cfg.session_pending = 32;
+  return cfg;
+}
+
+TEST(ShardedCloudParityTest, OpenLoopQueueScenario) {
+  expect_parity(open_loop_cloud(), "open-queue");
+}
+
+TEST(ShardedCloudParityTest, OpenLoopTableScenario) {
+  azurebench::ShardedCloudConfig cfg = open_loop_cloud();
+  cfg.mode = azurebench::ShardedCloudConfig::Mode::kTable;
+  expect_parity(cfg, "open-table");
+}
+
+TEST(ShardedCloudParityTest, OpenLoopChaosScenario) {
+  azurebench::ShardedCloudConfig cfg = open_loop_cloud();
+  cfg.chaos = true;
+  cfg.total_crashes = 2;
+  cfg.crash_mean_interval = sim::millis(400);
+  cfg.server_downtime = sim::millis(150);
+  expect_parity(cfg, "open-queue-chaos");
+}
+
+TEST(ShardedCloudParityTest, OpenLoopEngineAccountingIsThreadCountInvariant) {
+  azurebench::ShardedCloudConfig cfg = open_loop_cloud();
+  cfg.threads = cfg.domains;
+  const auto r = azurebench::run_sharded_cloud(cfg);
+  ASSERT_EQ(r.load.size(), static_cast<std::size_t>(cfg.domains));
+  ASSERT_EQ(r.workers.size(), static_cast<std::size_t>(cfg.domains));
+  for (const auto& ls : r.load) {
+    EXPECT_EQ(ls.offered, cfg.sessions_per_domain);
+    EXPECT_EQ(ls.offered, ls.admitted + ls.shed);
+    EXPECT_EQ(ls.admitted, ls.completed + ls.dead_lettered);
+    EXPECT_EQ(ls.slot_acquires, ls.slot_releases);
+    EXPECT_LE(ls.peak_in_flight, cfg.session_window);
+    EXPECT_LE(ls.peak_pending, cfg.session_pending);
+  }
+  cfg.threads = 1;
+  const auto seq = azurebench::run_sharded_cloud(cfg);
+  EXPECT_EQ(seq.load.size(), r.load.size());
+  for (std::size_t d = 0; d < r.load.size(); ++d) {
+    EXPECT_EQ(seq.load[d], r.load[d]) << "domain " << d;
+  }
+}
+
+TEST(ShardedCloudParityTest, OpenLoopRejectsInvalidConfig) {
+  azurebench::ShardedCloudConfig cfg = open_loop_cloud();
+  cfg.arrivals_per_sec = 0.0;
+  EXPECT_THROW(azurebench::run_sharded_cloud(cfg), std::invalid_argument);
+  cfg = open_loop_cloud();
+  cfg.sessions_per_domain = 0;
+  EXPECT_THROW(azurebench::run_sharded_cloud(cfg), std::invalid_argument);
+  cfg = open_loop_cloud();
+  cfg.session_window = 0;
+  EXPECT_THROW(azurebench::run_sharded_cloud(cfg), std::invalid_argument);
+}
+
 TEST(ShardedCloudParityTest, ChaosRunRecordsFaults) {
   azurebench::ShardedCloudConfig cfg = small_cloud();
   cfg.chaos = true;
