@@ -42,6 +42,14 @@ run_config() {
   echo "=== load ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L load
   "${dir}/bench/bench_ext_load" --smoke --selfcheck
+  # The geo-replication suite re-runs by label (bounded-staleness shipping,
+  # the region-failover drill, cross-stamp reconciliation), and the drill
+  # benchmark's smoke run proves an end-to-end region-loss drill in this
+  # configuration: byte-identical replay (--selfcheck) plus the built-in
+  # RPO bound (staleness-at-failover <= the provisioned target).
+  echo "=== geo ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L geo
+  "${dir}/bench/bench_ext_geo" --smoke --selfcheck
 }
 
 # TSan config: builds only the parallel-kernel suite and runs it under
@@ -77,13 +85,15 @@ run_tidy() {
     # shellcheck disable=SC2086
     clang-tidy -p "${dir}" --quiet ${srcs}
   fi
-  # The obs layer and the load engine are the newest subsystems and their
-  # hot paths are all pointer and lifetime discipline — hold them to a hard
-  # bugprone-* gate (warnings fail the build) rather than the advisory
-  # repo-wide pass above.
-  echo "=== clang-tidy hard gate: src/obs + src/framework ==="
+  # The obs layer, the load engine, and the geo-replication layer are the
+  # newest subsystems and their hot paths are all pointer and lifetime
+  # discipline (coroutines holding references across suspension points) —
+  # hold them to a hard bugprone-* gate (warnings fail the build) rather
+  # than the advisory repo-wide pass above.
+  echo "=== clang-tidy hard gate: src/obs + src/framework + src/cluster ==="
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='bugprone-*' \
-    src/obs/observer.cpp src/framework/load_engine.cpp
+    src/obs/observer.cpp src/framework/load_engine.cpp \
+    src/cluster/geo_replication.cpp
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release

@@ -10,6 +10,7 @@
 namespace azure {
 
 using cluster::PartitionMovedError;
+using cluster::RegionMovedError;
 using cluster::ServerBusyError;
 using cluster::StorageError;
 

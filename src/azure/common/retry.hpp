@@ -47,6 +47,13 @@ struct RetryPolicy {
   /// Total attempts (first try included) before the error is rethrown.
   int max_attempts = 1'000;  // effectively "retry until it works"
 
+  /// Total per-operation wall-clock budget, measured from the start of the
+  /// first attempt. A retryable error caught at or past the deadline is
+  /// rethrown instead of retried (the attempt in flight is never cancelled
+  /// — the budget bounds *retrying*, not execution). 0 disables the cap;
+  /// paper() keeps it 0 so the frozen figures never observe it.
+  sim::Duration total_deadline = 0;
+
   // Per-error-class retryability. Anything not listed here is rethrown
   // immediately.
   bool retry_server_busy = true;       // HTTP 503 throttling
@@ -54,6 +61,7 @@ struct RetryPolicy {
   bool retry_connection_resets = true; // server crashed mid-request
   bool retry_checksum_mismatch = true; // payload corrupted in flight
   bool retry_partition_moved = true;   // stale partition-map redirect
+  bool retry_region_moved = true;      // stale geo-map redirect (failover)
 
   /// The paper's client policy: fixed 1 s sleep, ServerBusy only. With this
   /// preset (and no injected faults) retry timing is byte-identical to the
@@ -71,17 +79,24 @@ struct RetryPolicy {
     // The paper-era model routes with a static partition placement: a moved
     // partition cannot occur in a frozen figure run, and the preset must
     // surface one (not absorb it) if a misconfiguration ever produces it.
+    // The same goes for a region failover — the paper model is one stamp.
     p.retry_partition_moved = false;
+    p.retry_region_moved = false;
     return p;
   }
 
   /// Whether an error of a class with retryability `class_retryable`,
   /// caught after `retries` completed retries (i.e. on attempt
-  /// `retries + 1`), must be rethrown instead of retried. Centralizes the
-  /// attempt-budget boundary: with max_attempts == N, exactly N attempts
-  /// run — the first try plus N - 1 retries.
-  bool gives_up(bool class_retryable, int retries) const noexcept {
-    return !class_retryable || retries + 1 >= max_attempts;
+  /// `retries + 1`) with `elapsed` spent since the operation started, must
+  /// be rethrown instead of retried. Centralizes both budget boundaries:
+  /// with max_attempts == N exactly N attempts run (first try plus N - 1
+  /// retries), and with a total_deadline the operation stops retrying the
+  /// moment the budget is spent — an error caught exactly *at* the deadline
+  /// is rethrown, one caught a nanosecond earlier may retry.
+  bool gives_up(bool class_retryable, int retries,
+                sim::Duration elapsed = 0) const noexcept {
+    return !class_retryable || retries + 1 >= max_attempts ||
+           (total_deadline > 0 && elapsed >= total_deadline);
   }
 
   /// Backoff before retry number `retry` (0-based). Pure function of the
@@ -140,6 +155,11 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
     -> decltype(make_op()) {
   obs::RequestScope request(sim);  // root span over all attempts
   obs::Observer* const o = request.observer();
+  const sim::TimePoint op_start = sim.now();
+  // Elapsed budget is evaluated where the error is caught (after the failed
+  // attempt), so the deadline bounds when retrying stops, never how long an
+  // in-flight attempt may run.
+  const auto elapsed = [&sim, op_start] { return sim.now() - op_start; };
   int retries = 0;
   for (;;) {
     // co_await is not permitted inside a catch handler, so record the need
@@ -158,21 +178,21 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       co_return co_await make_op();
     } catch (const ServerBusyError&) {
       error_class = detail::error_label(o, "server_busy");
-      if (policy.gives_up(policy.retry_server_busy, retries)) {
+      if (policy.gives_up(policy.retry_server_busy, retries, elapsed())) {
         request.fail(error_class);
         throw;
       }
       backoff = true;
     } catch (const TimeoutError&) {
       error_class = detail::error_label(o, "timeout");
-      if (policy.gives_up(policy.retry_timeouts, retries)) {
+      if (policy.gives_up(policy.retry_timeouts, retries, elapsed())) {
         request.fail(error_class);
         throw;
       }
       backoff = true;
     } catch (const ConnectionResetError&) {
       error_class = detail::error_label(o, "connection_reset");
-      if (policy.gives_up(policy.retry_connection_resets, retries)) {
+      if (policy.gives_up(policy.retry_connection_resets, retries, elapsed())) {
         request.fail(error_class);
         throw;
       }
@@ -182,7 +202,7 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       // touched, or the download's end-to-end checksum failed client-side.
       // Either way the operation is safe to repeat verbatim.
       error_class = detail::error_label(o, "checksum_mismatch");
-      if (policy.gives_up(policy.retry_checksum_mismatch, retries)) {
+      if (policy.gives_up(policy.retry_checksum_mismatch, retries, elapsed())) {
         request.fail(error_class);
         throw;
       }
@@ -192,7 +212,17 @@ auto with_retry_counted(sim::Simulation& sim, MakeOp make_op,
       // redirect already refreshed this client's cached map, so the retry
       // routes against fresh state.
       error_class = detail::error_label(o, "partition_moved");
-      if (policy.gives_up(policy.retry_partition_moved, retries)) {
+      if (policy.gives_up(policy.retry_partition_moved, retries, elapsed())) {
+        request.fail(error_class);
+        throw;
+      }
+      backoff = true;
+    } catch (const RegionMovedError&) {
+      // Stale geo-map redirect: the primary region failed over since this
+      // client last routed. The redirect refreshed the client's cached geo
+      // map, so the retry reaches the promoted region.
+      error_class = detail::error_label(o, "region_moved");
+      if (policy.gives_up(policy.retry_region_moved, retries, elapsed())) {
         request.fail(error_class);
         throw;
       }

@@ -43,4 +43,16 @@ class PartitionMovedError : public StorageError {
   explicit PartitionMovedError(const std::string& what) : StorageError(what) {}
 };
 
+/// Cross-region analogue of PartitionMovedError: the client routed a request
+/// to a region that is no longer (or not yet) the home stamp for writes /
+/// strong reads — the region failed over while the client held a stale geo
+/// map. The redirect response carries the new geo-map version, so an
+/// immediate retry routes to the promoted region. Retryable by default;
+/// excluded from RetryPolicy::paper() because the paper-era model has a
+/// single stamp (and the frozen figures must never observe one).
+class RegionMovedError : public StorageError {
+ public:
+  explicit RegionMovedError(const std::string& what) : StorageError(what) {}
+};
+
 }  // namespace cluster

@@ -543,6 +543,47 @@ class StorageCluster {
     co_return result;
   }
 
+  /// Applies one geo-replicated write (shipped from another stamp's log) to
+  /// this stamp: the bucket owner's replica set commits the bytes through
+  /// the normal replica-commit path (disk + executor occupancy on each live
+  /// replica server, in ring order), and — for integrity-tracked objects —
+  /// the local ledger advances to the shipped generation/CRC. `torn` stages
+  /// a torn tail on the first replica copy (a crash mid-apply on the
+  /// receiving stamp), which the scrub detects and heals. Generations never
+  /// regress: a redelivered or reordered batch is a no-op on the ledger.
+  sim::Task<void> apply_geo_write(std::uint64_t object_id, int home_server,
+                                  std::uint64_t gen, std::uint32_t crc,
+                                  std::int64_t bytes, bool torn = false) {
+    ReplicaStore::Entry* entry =
+        object_id != 0 ? &store_.open(object_id, home_server) : nullptr;
+    const int copies =
+        entry != nullptr ? store_.replicas_per_object() : cfg_.replicas;
+    for (int r = 0; r < copies; ++r) {
+      const int s = entry != nullptr
+                        ? store_.server_of(*entry, r)
+                        : (home_server + r) % cfg_.partition_servers;
+      PartitionServer& target = server(s);
+      if (!target.up()) continue;  // stale copy; the scrub converges it
+      co_await target.replica_commit(bytes);
+      if (entry == nullptr) continue;
+      auto& rep = entry->replicas[static_cast<std::size_t>(r)];
+      if (rep.gen > gen) continue;  // a later apply already landed here
+      rep.gen = gen;
+      if (torn && r == 0) {
+        rep.crc = crc ^ 0x5A5A5A5Au;
+        rep.torn = true;
+      } else {
+        rep.crc = crc;
+        rep.torn = false;
+      }
+    }
+    if (entry != nullptr && gen > entry->committed_gen) {
+      entry->committed_gen = gen;
+      entry->committed_crc = crc;
+      entry->bytes = bytes;
+    }
+  }
+
   /// One full anti-entropy pass over every partition server, for tests and
   /// benchmarks that want to force convergence at a known point in time.
   /// No-op when faults are not armed.
@@ -817,7 +858,19 @@ class StorageCluster {
     std::size_t next = 0;
     for (const int b : map_.buckets_of(down)) {
       move_bucket(b, healthy[next], /*offline_for=*/0);
-      crash_moved_[static_cast<std::size_t>(down)].push_back(b);
+      // A bucket that is *already* crash-displaced belongs to an earlier
+      // victim: it was parked on `down` only temporarily, and fail-back must
+      // return it to its original owner, not to `down`. Registering it under
+      // `down` as well would hand it to whichever of the two victims
+      // restarted *last* — with inverted restart order the bucket ended up
+      // stranded on the second victim instead of its true pre-crash owner.
+      if (crash_displaced_.empty()) {
+        crash_displaced_.assign(static_cast<std::size_t>(map_.buckets()), 0);
+      }
+      if (crash_displaced_[static_cast<std::size_t>(b)] == 0) {
+        crash_displaced_[static_cast<std::size_t>(b)] = 1;
+        crash_moved_[static_cast<std::size_t>(down)].push_back(b);
+      }
       next = (next + 1) % healthy.size();
     }
   }
@@ -825,13 +878,18 @@ class StorageCluster {
   /// Returns the buckets that were on `restarted` when it went down (and
   /// were reassigned off it) back to it. Restores the pre-crash assignment
   /// so a crash-restart cycle converges instead of permanently skewing the
-  /// map; the balancer remains free to move them again afterwards.
+  /// map; the balancer remains free to move them again afterwards. Under
+  /// overlapping failures each bucket is registered under exactly one victim
+  /// (its original owner — see reassign_off), so restart order does not
+  /// matter: A's buckets return to A whenever A restarts, even if they rode
+  /// out B's crash on a third server in between.
   void fail_back(int restarted) {
-    auto& moved = crash_moved_[static_cast<std::size_t>(restarted)];
+    auto moved = std::move(crash_moved_[static_cast<std::size_t>(restarted)]);
+    crash_moved_[static_cast<std::size_t>(restarted)].clear();
     for (const int b : moved) {
+      crash_displaced_[static_cast<std::size_t>(b)] = 0;
       move_bucket(b, restarted, /*offline_for=*/0);
     }
-    moved.clear();
   }
 
   /// One-shot settling-delay + scrub pass, for restarts driven from outside
@@ -878,6 +936,10 @@ class StorageCluster {
   std::vector<std::int64_t> bucket_requests_;
   std::unordered_map<const netsim::Nic*, std::uint64_t> client_versions_;
   std::vector<std::vector<int>> crash_moved_;
+  // Per-bucket flag: 1 while the bucket is crash-displaced (registered in
+  // exactly one crash_moved_ list). Lazily sized on first crash so the
+  // crash-free path allocates nothing.
+  std::vector<char> crash_displaced_;
   std::int64_t partition_moves_ = 0;
   std::int64_t stale_map_redirects_ = 0;
 

@@ -66,13 +66,53 @@ struct FaultConfig {
   /// forked RNG stream.
   double torn_write_probability = 0.75;
 
+  // ---------------------------------------------------- region faults ----
+  // Whole-region (stamp) outages, executed by the geo layer's outage driver
+  // (cluster/geo_replication.hpp). Like server crashes, the schedule is
+  // materialized eagerly at construction from its own forked stream, so the
+  // number of link or geo-link draws a workload makes can never perturb
+  // outage timing. Outages are injected sequentially (at most one region is
+  // down at a time).
+  /// Total region outages to inject (0 disables the region-outage driver).
+  int region_outages = 0;
+  /// Mean (exponential) interval between region outages.
+  sim::Duration region_outage_mean_interval = sim::seconds(30);
+  /// How long a lost region stays down before it is restored.
+  sim::Duration region_downtime = sim::seconds(5);
+  /// Latency a client pays on a cross-region redirect (stale region routing
+  /// or a request that reached a region mid-outage) before the typed
+  /// RegionMovedError is surfaced.
+  sim::Duration region_failover_latency = sim::millis(100);
+  /// Pins every scheduled outage to one region index (-1 draws the victim
+  /// from the forked stream). Drills that must lose the *primary* region at
+  /// a deterministic target pin it here; the victim draw is consumed either
+  /// way so the schedule's timing is identical.
+  int region_outage_victim = -1;
+
+  // ------------------------------------- geo link faults (per batch) ----
+  // Inter-region links are long-haul: they lose whole replication batches
+  // (the shipper redelivers next round) and suffer latency spikes, but
+  // intra-batch corruption is already covered by the end-to-end checksums
+  // the entries carry. One draw per shipped batch, from a dedicated stream.
+  /// Probability that a shipped replication batch is lost in transit.
+  double geo_drop_probability = 0;
+  /// Probability of a latency spike on a shipped batch's path.
+  double geo_latency_spike_probability = 0;
+  /// Mean of the (exponential) geo latency-spike duration.
+  sim::Duration geo_latency_spike_mean = sim::millis(50);
+
   bool link_faults_enabled() const noexcept {
     return drop_probability > 0 || duplicate_probability > 0 ||
            latency_spike_probability > 0 || corruption_probability > 0;
   }
   bool server_faults_enabled() const noexcept { return server_crashes > 0; }
+  bool region_faults_enabled() const noexcept { return region_outages > 0; }
+  bool geo_link_faults_enabled() const noexcept {
+    return geo_drop_probability > 0 || geo_latency_spike_probability > 0;
+  }
   bool enabled() const noexcept {
-    return link_faults_enabled() || server_faults_enabled();
+    return link_faults_enabled() || server_faults_enabled() ||
+           region_faults_enabled() || geo_link_faults_enabled();
   }
 };
 
@@ -99,6 +139,21 @@ enum class FaultKind : std::uint8_t {
   kReadRepair,
   /// A bad replica was re-synced by the background anti-entropy scrubber.
   kScrubRepair,
+  // ----------------------------------------------------- geo / regions -----
+  /// An entire region (stamp) went dark.
+  kRegionOutage,
+  /// A lost region came back and rejoined the geo cluster.
+  kRegionRestore,
+  /// The primary role moved to a secondary region (the lost region was the
+  /// primary). detail = the promoted region's index.
+  kRegionFailover,
+  /// The primary role moved back to the original region after reconciliation.
+  kRegionFailback,
+  /// A shipped inter-region replication batch was lost in transit (the
+  /// shipper redelivers it next round). detail = payload bytes.
+  kGeoBatchDrop,
+  /// A shipped batch hit a latency spike on the inter-region link.
+  kGeoLatencySpike,
 };
 
 /// One injected fault, as recorded in the plan's log. The log is part of
@@ -140,6 +195,23 @@ class FaultPlan {
     // lands torn. Forked here (construction time) so the number of link
     // draws a workload makes cannot perturb torn decisions, and vice versa.
     torn_rng_ = link_rng_.fork();
+    // Geo streams fork only when their feature is configured: a plan without
+    // region outages or geo-link faults leaves link_rng_'s state — and hence
+    // every pre-geo draw sequence — byte-identical to a pre-geo build.
+    if (cfg.region_faults_enabled()) {
+      sim::Random region_rng = link_rng_.fork();
+      region_schedule_.reserve(static_cast<std::size_t>(cfg.region_outages));
+      for (int i = 0; i < cfg.region_outages; ++i) {
+        RegionOutageEvent ev;
+        ev.after_previous = static_cast<sim::Duration>(region_rng.exponential(
+            static_cast<double>(cfg.region_outage_mean_interval)));
+        // The victim draw is consumed even when the config pins the victim,
+        // so pinning never shifts outage timing.
+        ev.victim_raw = region_rng.next_u64();
+        region_schedule_.push_back(ev);
+      }
+    }
+    if (cfg.geo_link_faults_enabled()) geo_rng_ = link_rng_.fork();
   }
 
   FaultPlan(const FaultPlan&) = delete;
@@ -206,6 +278,45 @@ class FaultPlan {
     return crash_schedule_;
   }
 
+  /// Consulted once per shipped inter-region replication batch. Draws
+  /// exactly one uniform value from the dedicated geo stream (the two
+  /// probabilities partition [0, 1)); non-kNone outcomes are logged.
+  LinkFault draw_geo_link_fault(std::int64_t bytes) {
+    if (!cfg_.geo_link_faults_enabled()) return LinkFault::kNone;
+    const double u = geo_rng_.next_double();
+    double edge = cfg_.geo_drop_probability;
+    if (u < edge) {
+      record(FaultKind::kGeoBatchDrop, bytes);
+      return LinkFault::kDrop;
+    }
+    edge += cfg_.geo_latency_spike_probability;
+    if (u < edge) {
+      record(FaultKind::kGeoLatencySpike, bytes);
+      return LinkFault::kLatencySpike;
+    }
+    return LinkFault::kNone;
+  }
+
+  /// Duration of the geo latency spike just drawn (call only after
+  /// draw_geo_link_fault returned kLatencySpike; consumes one geo draw).
+  sim::Duration draw_geo_spike_duration() {
+    const auto d = static_cast<sim::Duration>(geo_rng_.exponential(
+        static_cast<double>(cfg_.geo_latency_spike_mean)));
+    return d > 0 ? d : sim::kNanosecond;
+  }
+
+  /// The precomputed region-outage schedule, executed by the geo layer's
+  /// outage driver (cluster/geo_replication.hpp).
+  struct RegionOutageEvent {
+    sim::Duration after_previous = 0;
+    /// Reduced modulo the region count at execution time, unless the config
+    /// pins region_outage_victim.
+    std::uint64_t victim_raw = 0;
+  };
+  const std::vector<RegionOutageEvent>& region_schedule() const noexcept {
+    return region_schedule_;
+  }
+
   /// Appends a fault to the log, stamped with the current virtual time.
   void record(FaultKind kind, std::int64_t detail) {
     log_.push_back(FaultRecord{sim_->now(), kind, detail});
@@ -224,7 +335,9 @@ class FaultPlan {
   FaultConfig cfg_;
   sim::Random link_rng_;
   sim::Random torn_rng_;
+  sim::Random geo_rng_;
   std::vector<CrashEvent> crash_schedule_;
+  std::vector<RegionOutageEvent> region_schedule_;
   std::vector<FaultRecord> log_;
 };
 

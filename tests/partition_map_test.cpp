@@ -254,6 +254,75 @@ TEST(FailoverGuardTest, CrashDriverFailoverConvergesBackAfterRestart) {
   }
 }
 
+// ------------------------------------- overlapping (simultaneous) crashes ----
+
+/// Regression (pre-fix): a bucket displaced off crashed server A onto B was
+/// registered for fail-back under *both* victims when B crashed too. With
+/// restart order matching crash order (A then B), fail_back(B) then yanked
+/// A's bucket back onto B, permanently skewing the map: the final owner of
+/// a bucket depended on which victim restarted last, not on the map's
+/// pre-crash assignment.
+TEST(FailoverGuardTest, SecondCrashWhileFirstVictimStillDownFailsBackClean) {
+  Simulation s;
+  StorageCluster c(s, ClusterConfig{});
+  // Crash A(0): its buckets spread over the healthy ring starting at 1, so
+  // bucket 0 (home: server 0) parks on server 1.
+  c.crash_server(0);
+  ASSERT_EQ(c.partition_map().owner(0), 1);
+  // Crash B(1) while A is still down: bucket 0 is displaced a second time.
+  c.crash_server(1);
+  const int interim = c.partition_map().owner(0);
+  EXPECT_NE(interim, 0);
+  EXPECT_NE(interim, 1);
+  // Restart in crash order. Pre-fix, fail_back(1) re-claimed bucket 0 for
+  // server 1 because the second crash had registered it under B as well.
+  c.restart_server(0);
+  EXPECT_EQ(c.partition_map().owner(0), 0);
+  c.restart_server(1);
+  EXPECT_EQ(c.partition_map().owner(0), 0)
+      << "bucket 0 belongs to server 0; the second victim must not steal it";
+  const PartitionMap& map = c.partition_map();
+  for (int b = 0; b < map.buckets(); ++b) {
+    EXPECT_EQ(map.owner(b), map.default_owner(b)) << "bucket " << b;
+  }
+}
+
+TEST(FailoverGuardTest, InvertedRestartOrderKeepsDisplacedBucketOffDownHost) {
+  Simulation s;
+  StorageCluster c(s, ClusterConfig{});
+  c.crash_server(0);  // bucket 0 -> server 1
+  c.crash_server(1);  // bucket 0 -> third server
+  const int interim = c.partition_map().owner(0);
+  // Restart order inverted vs crash order: B first, while A is still down.
+  c.restart_server(1);
+  // B gets its own buckets back, but must NOT pull in A's bucket — A is
+  // still down, and the bucket's fail-back target is A alone.
+  EXPECT_EQ(c.partition_map().owner(0), interim)
+      << "a bucket crash-displaced off A may not fail back to B";
+  EXPECT_EQ(c.partition_map().owner(1), 1);
+  c.restart_server(0);
+  const PartitionMap& map = c.partition_map();
+  for (int b = 0; b < map.buckets(); ++b) {
+    EXPECT_EQ(map.owner(b), map.default_owner(b)) << "bucket " << b;
+  }
+}
+
+TEST(FailoverGuardTest, ThreeOverlappingCrashesConvergeInAnyRestartOrder) {
+  Simulation s;
+  StorageCluster c(s, ClusterConfig{});
+  c.crash_server(0);
+  c.crash_server(1);
+  c.crash_server(2);
+  // Shuffled restart order: 2, 0, 1.
+  c.restart_server(2);
+  c.restart_server(0);
+  c.restart_server(1);
+  const PartitionMap& map = c.partition_map();
+  for (int b = 0; b < map.buckets(); ++b) {
+    EXPECT_EQ(map.owner(b), map.default_owner(b)) << "bucket " << b;
+  }
+}
+
 // ------------------------------------------------ constructor validation ----
 
 /// Regression (pre-fix: the topology invariant was a Debug-only assert, so
