@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
       benchutil::flag_int(argc, argv, "--seed", 0x6E0D));
 
   std::vector<sim::Duration> intervals;
-  if (const std::int64_t ms = benchutil::flag_int(argc, argv, "--ship_ms", 0);
+  if (const std::int64_t ms = benchutil::flag_int(argc, argv, "--ship_ms", 0, 1, 60'000);
       ms > 0) {
     intervals = {sim::millis(ms)};
   } else if (smoke) {

@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::int64_t> populations;
   if (const std::int64_t p =
-          benchutil::flag_int(argc, argv, "--population", 0);
+          benchutil::flag_int(argc, argv, "--population", 0, 1);
       p > 0) {
     populations = {p};
   } else if (smoke) {

@@ -111,10 +111,12 @@ int main(int argc, char** argv) {
   const bool smoke = benchutil::flag_set(argc, argv, "--smoke");
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const int workers = smoke ? 16 : static_cast<int>(benchutil::flag_int(
-                                       argc, argv, "--workers", 64));
-  const int ops = smoke ? 10 : static_cast<int>(
-                                   benchutil::flag_int(argc, argv, "--ops", 64));
-  const int hot = static_cast<int>(benchutil::flag_int(argc, argv, "--hot", 90));
+                                       argc, argv, "--workers", 64, 1));
+  const int ops = smoke ? 10
+                        : static_cast<int>(benchutil::flag_int(argc, argv,
+                                                               "--ops", 64, 1));
+  const int hot =
+      static_cast<int>(benchutil::flag_int(argc, argv, "--hot", 90, 0, 100));
 
   benchutil::Table table({"balancer", "workers", "ops/client", "hot%",
                           "completion_s", "ops_per_s", "imbalance", "moves",

@@ -169,9 +169,9 @@ Point run_profile(const FaultProfile& p, int workers, int messages,
 int main(int argc, char** argv) {
   const bool quick = benchutil::flag_set(argc, argv, "--quick");
   const int workers = static_cast<int>(
-      benchutil::flag_int(argc, argv, "--workers", quick ? 8 : 32));
+      benchutil::flag_int(argc, argv, "--workers", quick ? 8 : 32, 1));
   const int messages = static_cast<int>(
-      benchutil::flag_int(argc, argv, "--messages", quick ? 20 : 100));
+      benchutil::flag_int(argc, argv, "--messages", quick ? 20 : 100, 1));
   const auto seed = static_cast<std::uint64_t>(
       benchutil::flag_int(argc, argv, "--seed", 0xFA017));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");

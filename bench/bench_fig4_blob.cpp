@@ -7,51 +7,37 @@
 // worker downloads both blobs in full. 10 repeats; synchronization via the
 // queue barrier is excluded from the timings.
 //
+// The table itself is built by benchfig::fig4_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N (single point), --repeats=N, --quick,
 //        --no-replica-reads (ablation), --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/blob_benchmark.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
-  const auto sweep = benchutil::worker_sweep(argc, argv);
-  const int repeats = static_cast<int>(benchutil::flag_int(
-      argc, argv, "--repeats", benchutil::flag_set(argc, argv, "--quick") ? 3
-                                                                          : 10));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
-  const bool no_replica = benchutil::flag_set(argc, argv, "--no-replica-reads");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
+
+  benchfig::Fig4Options opt;
+  opt.workers = benchutil::worker_sweep(argc, argv);
+  opt.repeats = static_cast<int>(benchutil::flag_int(
+      argc, argv, "--repeats",
+      benchutil::flag_set(argc, argv, "--quick") ? 3 : 10, 1, 1'000));
+  opt.no_replica_reads = benchutil::flag_set(argc, argv, "--no-replica-reads");
+  if (obs_flags.enabled) opt.observer = &observer;
 
   std::printf(
       "AzureBench Fig. 4 — Blob storage upload/download vs. workers\n"
       "100 MB blobs, 1 MB chunks, %d repeats%s\n\n",
-      repeats, no_replica ? " [ablation: replica reads OFF]" : "");
+      opt.repeats,
+      opt.no_replica_reads ? " [ablation: replica reads OFF]" : "");
 
-  benchutil::Table table({"workers", "pageUp_s", "pageUp_MiBps", "blockUp_s",
-                          "blockUp_MiBps", "pageDown_s", "pageDown_MiBps",
-                          "blockDown_s", "blockDown_MiBps", "barrier_s"});
-
-  for (const int workers : sweep) {
-    azurebench::BlobBenchConfig cfg;
-    cfg.workers = workers;
-    cfg.repeats = repeats;
-    cfg.cloud.blob.replica_reads = !no_replica;
-    if (obs_flags.enabled) cfg.observer = &observer;
-    const auto r = azurebench::run_blob_benchmark(cfg);
-    table.add_row({std::to_string(workers),
-                   benchutil::fmt(r.page_upload.seconds),
-                   benchutil::fmt(r.page_upload.mib_per_sec()),
-                   benchutil::fmt(r.block_upload.seconds),
-                   benchutil::fmt(r.block_upload.mib_per_sec()),
-                   benchutil::fmt(r.page_full_read.seconds),
-                   benchutil::fmt(r.page_full_read.mib_per_sec()),
-                   benchutil::fmt(r.block_full_read.seconds),
-                   benchutil::fmt(r.block_full_read.mib_per_sec()),
-                   benchutil::fmt(r.barrier_seconds)});
-  }
+  const benchutil::Table table = benchfig::fig4_table(opt);
   if (csv) {
     table.print_csv();
   } else {

@@ -3,45 +3,34 @@
 // workers. Pages are read at random offsets (paying the page-index lookup);
 // blocks are read sequentially.
 //
+// The table itself is built by benchfig::fig5_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N, --repeats=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/blob_benchmark.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
-  const auto sweep = benchutil::worker_sweep(argc, argv);
-  const int repeats = static_cast<int>(benchutil::flag_int(
-      argc, argv, "--repeats", benchutil::flag_set(argc, argv, "--quick") ? 3
-                                                                          : 10));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
 
+  benchfig::Fig5Options opt;
+  opt.workers = benchutil::worker_sweep(argc, argv);
+  opt.repeats = static_cast<int>(benchutil::flag_int(
+      argc, argv, "--repeats",
+      benchutil::flag_set(argc, argv, "--quick") ? 3 : 10, 1, 1'000));
+  if (obs_flags.enabled) opt.observer = &observer;
+
   std::printf(
       "AzureBench Fig. 5 — chunk-wise blob download vs. workers\n"
       "100 chunks of 1 MB per worker per repeat, %d repeats\n\n",
-      repeats);
+      opt.repeats);
 
-  benchutil::Table table({"workers", "pageRand_s", "pageRand_MiBps",
-                          "pageRand_ms/op", "blockSeq_s", "blockSeq_MiBps",
-                          "blockSeq_ms/op"});
-
-  for (const int workers : sweep) {
-    azurebench::BlobBenchConfig cfg;
-    cfg.workers = workers;
-    cfg.repeats = repeats;
-    if (obs_flags.enabled) cfg.observer = &observer;
-    const auto r = azurebench::run_blob_benchmark(cfg);
-    table.add_row({std::to_string(workers),
-                   benchutil::fmt(r.page_random_read.seconds),
-                   benchutil::fmt(r.page_random_read.mib_per_sec()),
-                   benchutil::fmt(r.page_random_read.ms_per_op() * workers),
-                   benchutil::fmt(r.block_seq_read.seconds),
-                   benchutil::fmt(r.block_seq_read.mib_per_sec()),
-                   benchutil::fmt(r.block_seq_read.ms_per_op() * workers)});
-  }
+  const benchutil::Table table = benchfig::fig5_table(opt);
   if (csv) {
     table.print_csv();
   } else {

@@ -7,6 +7,9 @@
 // slow 16 KB Get the paper reports is reproduced; pass --no-anomaly to
 // disable that quirk.
 //
+// The table itself is built by benchfig::fig6_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N, --messages=N, --quick, --no-anomaly, --csv,
 //        --obs, --obs-json=FILE, --trace (print one GetMessage span tree).
 //
@@ -18,33 +21,28 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/queue_benchmark.hpp"
 #include "core/sharded_world.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
-  const auto sweep = benchutil::worker_sweep(argc, argv);
-  const std::int64_t messages = benchutil::flag_int(
-      argc, argv, "--messages",
-      benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000);
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
-  const bool no_anomaly = benchutil::flag_set(argc, argv, "--no-anomaly");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
 
-  const int domains =
-      static_cast<int>(benchutil::flag_int(argc, argv, "--domains", 0));
+  const int domains = static_cast<int>(
+      benchutil::flag_int(argc, argv, "--domains", 0, 0, 1'024));
   if (domains > 0) {
     azurebench::ShardedCloudConfig cfg;
     cfg.mode = azurebench::ShardedCloudConfig::Mode::kQueue;
     cfg.domains = domains;
-    cfg.threads =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--threads", 0));
+    cfg.threads = static_cast<int>(
+        benchutil::flag_int(argc, argv, "--threads", 0, 0, 1'024));
     cfg.total_servers =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--servers", 64));
+        static_cast<int>(benchutil::flag_int(argc, argv, "--servers", 64, 1));
     cfg.total_workers =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--workers", 96));
-    cfg.ops_per_worker = benchutil::flag_int(argc, argv, "--ops", 20);
+        static_cast<int>(benchutil::flag_int(argc, argv, "--workers", 96, 1));
+    cfg.ops_per_worker = benchutil::flag_int(argc, argv, "--ops", 20, 1);
     cfg.chaos = benchutil::flag_set(argc, argv, "--chaos");
     const auto r = azurebench::run_sharded_cloud(cfg);
     std::printf(
@@ -55,32 +53,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  benchfig::Fig6Options opt;
+  opt.workers = benchutil::worker_sweep(argc, argv);
+  opt.messages = benchutil::flag_int(
+      argc, argv, "--messages",
+      benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000, 1);
+  opt.no_anomaly = benchutil::flag_set(argc, argv, "--no-anomaly");
+  if (obs_flags.enabled) opt.observer = &observer;
+
   std::printf(
       "AzureBench Fig. 6 — Queue storage, separate queue per worker\n"
       "%lld messages total; phase times in seconds%s\n\n",
-      static_cast<long long>(messages),
-      no_anomaly ? " [ablation: 16 KB Get anomaly OFF]" : "");
+      static_cast<long long>(opt.messages),
+      opt.no_anomaly ? " [ablation: 16 KB Get anomaly OFF]" : "");
 
-  benchutil::Table table({"workers", "size_KB", "put_s", "peek_s", "get_s",
-                          "put_ms/op", "peek_ms/op", "get_ms/op"});
-
-  for (const int workers : sweep) {
-    azurebench::QueueSeparateConfig cfg;
-    cfg.workers = workers;
-    cfg.total_messages = messages;
-    cfg.cloud.queue.model_16k_get_anomaly = !no_anomaly;
-    if (obs_flags.enabled) cfg.observer = &observer;
-    const auto r = azurebench::run_queue_separate_benchmark(cfg);
-    for (const auto& p : r.points) {
-      table.add_row(
-          {std::to_string(workers), std::to_string(p.message_size / 1024),
-           benchutil::fmt(p.put.seconds), benchutil::fmt(p.peek.seconds),
-           benchutil::fmt(p.get.seconds),
-           benchutil::fmt(p.put.ms_per_op() * workers),
-           benchutil::fmt(p.peek.ms_per_op() * workers),
-           benchutil::fmt(p.get.ms_per_op() * workers)});
-    }
-  }
+  const benchutil::Table table = benchfig::fig6_table(opt);
   if (csv) {
     table.print_csv();
   } else {

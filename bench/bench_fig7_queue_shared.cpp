@@ -4,11 +4,14 @@
 // messages total split into <=500-message rounds; think time between
 // accesses is excluded from the reported times.
 //
+// The table itself is built by benchfig::fig7_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N, --messages=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/queue_benchmark.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
@@ -20,38 +23,24 @@ int main(int argc, char** argv) {
   if (sweep.size() > 1) {
     std::erase_if(sweep, [](int w) { return w < 2; });
   }
-  const std::int64_t messages = benchutil::flag_int(
-      argc, argv, "--messages",
-      benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000);
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
+
+  benchfig::Fig7Options opt;
+  opt.workers = sweep;
+  opt.messages = benchutil::flag_int(
+      argc, argv, "--messages",
+      benchutil::flag_set(argc, argv, "--quick") ? 2'000 : 20'000, 1);
+  if (obs_flags.enabled) opt.observer = &observer;
 
   std::printf(
       "AzureBench Fig. 7 — Queue storage, single shared queue\n"
       "%lld messages total, 32 KB each; per-worker communication time "
       "(think time excluded)\n\n",
-      static_cast<long long>(messages));
+      static_cast<long long>(opt.messages));
 
-  benchutil::Table table({"workers", "think_s", "put_s", "peek_s", "get_s",
-                          "put_ms/op", "peek_ms/op", "get_ms/op"});
-
-  for (const int workers : sweep) {
-    azurebench::QueueSharedConfig cfg;
-    cfg.workers = workers;
-    cfg.total_messages = messages;
-    if (obs_flags.enabled) cfg.observer = &observer;
-    const auto r = azurebench::run_queue_shared_benchmark(cfg);
-    for (const auto& p : r.points) {
-      table.add_row({std::to_string(workers), std::to_string(p.think_seconds),
-                     benchutil::fmt(p.put.seconds),
-                     benchutil::fmt(p.peek.seconds),
-                     benchutil::fmt(p.get.seconds),
-                     benchutil::fmt(p.put.ms_per_op()),
-                     benchutil::fmt(p.peek.ms_per_op()),
-                     benchutil::fmt(p.get.ms_per_op())});
-    }
-  }
+  const benchutil::Table table = benchfig::fig7_table(opt);
   if (csv) {
     table.print_csv();
   } else {

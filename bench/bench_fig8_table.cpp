@@ -3,6 +3,9 @@
 // worker works on 500 entities in its own partition; updates are
 // unconditional (ETag "*"); ServerBusy is retried after a 1 s sleep.
 //
+// The table itself is built by benchfig::fig8_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N, --entities=N, --quick, --csv, --obs, --obs-json=FILE.
 //
 // Sharded parallel path: --domains=N switches to the domain-sharded driver
@@ -14,31 +17,27 @@
 
 #include "bench_util.hpp"
 #include "core/sharded_world.hpp"
-#include "core/table_benchmark.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
-  const auto sweep = benchutil::worker_sweep(argc, argv);
-  const int entities = static_cast<int>(benchutil::flag_int(
-      argc, argv, "--entities",
-      benchutil::flag_set(argc, argv, "--quick") ? 100 : 500));
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
 
-  const int domains =
-      static_cast<int>(benchutil::flag_int(argc, argv, "--domains", 0));
+  const int domains = static_cast<int>(
+      benchutil::flag_int(argc, argv, "--domains", 0, 0, 1'024));
   if (domains > 0) {
     azurebench::ShardedCloudConfig cfg;
     cfg.mode = azurebench::ShardedCloudConfig::Mode::kTable;
     cfg.domains = domains;
-    cfg.threads =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--threads", 0));
+    cfg.threads = static_cast<int>(
+        benchutil::flag_int(argc, argv, "--threads", 0, 0, 1'024));
     cfg.total_servers =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--servers", 64));
+        static_cast<int>(benchutil::flag_int(argc, argv, "--servers", 64, 1));
     cfg.total_workers =
-        static_cast<int>(benchutil::flag_int(argc, argv, "--workers", 96));
-    cfg.ops_per_worker = benchutil::flag_int(argc, argv, "--ops", 20);
+        static_cast<int>(benchutil::flag_int(argc, argv, "--workers", 96, 1));
+    cfg.ops_per_worker = benchutil::flag_int(argc, argv, "--ops", 20, 1);
     cfg.chaos = benchutil::flag_set(argc, argv, "--chaos");
     const auto r = azurebench::run_sharded_cloud(cfg);
     std::printf(
@@ -49,32 +48,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  benchfig::Fig8Options opt;
+  opt.workers = benchutil::worker_sweep(argc, argv);
+  opt.entities = static_cast<int>(benchutil::flag_int(
+      argc, argv, "--entities",
+      benchutil::flag_set(argc, argv, "--quick") ? 100 : 500, 1));
+  if (obs_flags.enabled) opt.observer = &observer;
+
   std::printf(
       "AzureBench Fig. 8 — Table storage operations vs. workers\n"
       "%d entities per worker per phase; per-phase times in seconds\n\n",
-      entities);
+      opt.entities);
 
-  benchutil::Table table({"workers", "size_KB", "insert_s", "query_s",
-                          "update_s", "delete_s", "busy_retries"});
-
-  for (const int workers : sweep) {
-    azurebench::TableBenchConfig cfg;
-    cfg.workers = workers;
-    cfg.entities = entities;
-    if (obs_flags.enabled) cfg.observer = &observer;
-    const auto r = azurebench::run_table_benchmark(cfg);
-    bool first = true;
-    for (const auto& p : r.points) {
-      table.add_row({std::to_string(workers),
-                     std::to_string(p.entity_size / 1024),
-                     benchutil::fmt(p.insert.seconds),
-                     benchutil::fmt(p.query.seconds),
-                     benchutil::fmt(p.update.seconds),
-                     benchutil::fmt(p.erase.seconds),
-                     first ? std::to_string(r.server_busy_retries) : ""});
-      first = false;
-    }
-  }
+  const benchutil::Table table = benchfig::fig8_table(opt);
   if (csv) {
     table.print_csv();
   } else {

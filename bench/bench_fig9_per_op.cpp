@@ -6,54 +6,33 @@
 // in ms/op). Queue numbers use 32 KB messages; table numbers use 32 KB
 // entities — the midpoint sizes of Figs. 6 and 8.
 //
+// The table itself is built by benchfig::fig9_table (fig_workloads.hpp),
+// shared with the declarative scenario driver (bench_scenario.cpp).
+//
 // Flags: --workers=N, --quick, --csv, --obs, --obs-json=FILE.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/queue_benchmark.hpp"
-#include "core/table_benchmark.hpp"
+#include "fig_workloads.hpp"
 #include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
-  const auto sweep = benchutil::worker_sweep(argc, argv);
   const bool quick = benchutil::flag_set(argc, argv, "--quick");
   const bool csv = benchutil::flag_set(argc, argv, "--csv");
   const benchutil::ObsFlags obs_flags = benchutil::obs_flags(argc, argv);
   obs::Observer observer;
 
+  benchfig::Fig9Options opt;
+  opt.workers = benchutil::worker_sweep(argc, argv);
+  opt.entities = quick ? 100 : 500;
+  opt.messages = quick ? 2'000 : 20'000;
+  if (obs_flags.enabled) opt.observer = &observer;
+
   std::printf(
       "AzureBench Fig. 9 — per-operation time (ms) for Table and Queue "
       "storage\n32 KB payloads\n\n");
 
-  benchutil::Table table({"workers", "tbl_insert", "tbl_query", "tbl_update",
-                          "tbl_delete", "q_put", "q_peek", "q_get"});
-
-  for (const int workers : sweep) {
-    azurebench::TableBenchConfig tcfg;
-    tcfg.workers = workers;
-    tcfg.entities = quick ? 100 : 500;
-    tcfg.entity_sizes = {32 << 10};
-    if (obs_flags.enabled) tcfg.observer = &observer;
-    const auto t = azurebench::run_table_benchmark(tcfg);
-    const auto& tp = t.points.front();
-
-    azurebench::QueueSeparateConfig qcfg;
-    qcfg.workers = workers;
-    qcfg.total_messages = quick ? 2'000 : 20'000;
-    qcfg.message_sizes = {32 << 10};
-    if (obs_flags.enabled) qcfg.observer = &observer;
-    const auto q = azurebench::run_queue_separate_benchmark(qcfg);
-    const auto& qp = q.points.front();
-
-    // Phase time is per-worker (longest worker); ops are fleet-wide, so
-    // ms/op * workers = mean per-operation time.
-    auto per_op = [&](const azurebench::PhaseReport& r) {
-      return benchutil::fmt(r.ms_per_op() * workers);
-    };
-    table.add_row({std::to_string(workers), per_op(tp.insert),
-                   per_op(tp.query), per_op(tp.update), per_op(tp.erase),
-                   per_op(qp.put), per_op(qp.peek), per_op(qp.get)});
-  }
+  const benchutil::Table table = benchfig::fig9_table(opt);
   if (csv) {
     table.print_csv();
   } else {

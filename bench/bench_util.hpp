@@ -4,10 +4,13 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,19 +20,101 @@
 
 namespace benchutil {
 
-/// Returns the value of `--name=value`, or `fallback`.
-inline std::int64_t flag_int(int argc, char** argv, const char* name,
-                             std::int64_t fallback) {
+// Flag conventions, shared by every bench binary:
+//  * value flags are `--name=value`; boolean flags are bare `--name`;
+//  * when a flag is passed more than once, the FIRST occurrence wins (a
+//    scripted baseline prepended to a saved command line overrides it);
+//  * numeric values are parsed strictly — empty values, trailing junk, and
+//    overflow are typed usage errors (exit code 2), never silent zeros. An
+//    earlier version used std::atoll, which turned `--workers=abc` into 0
+//    and `--workers=9999999999999999999999` into undefined behaviour.
+
+/// Typed usage error: names the flag, the offending text, and the reason.
+class UsageError : public std::runtime_error {
+ public:
+  UsageError(std::string flag, std::string value, std::string reason)
+      : std::runtime_error(flag + "=" + value + ": " + reason),
+        flag_(std::move(flag)),
+        value_(std::move(value)),
+        reason_(std::move(reason)) {}
+
+  const std::string& flag() const noexcept { return flag_; }
+  const std::string& value() const noexcept { return value_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string flag_, value_, reason_;
+};
+
+enum class IntParse { kOk, kEmpty, kBadDigit, kTrailingJunk, kOverflow };
+
+/// Strict full-string integer parse (optional leading '-', decimal only).
+inline IntParse parse_int(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return IntParse::kEmpty;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return IntParse::kOverflow;
+  if (ec != std::errc{}) return IntParse::kBadDigit;
+  if (ptr != last) return IntParse::kTrailingJunk;
+  return IntParse::kOk;
+}
+
+/// Returns the value of `--name=value` (first occurrence wins), or
+/// `fallback` when the flag is absent. Explicitly-passed values must parse
+/// strictly and lie in [min, max]; violations throw UsageError. The
+/// fallback is returned as-is — bounds constrain the command line, not the
+/// binary's defaults.
+inline std::int64_t flag_int_checked(
+    int argc, char** argv, const char* name, std::int64_t fallback,
+    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
   const std::string prefix = std::string(name) + "=";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atoll(argv[i] + prefix.size());
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    const std::string_view text(argv[i] + prefix.size());
+    std::int64_t value = 0;
+    switch (parse_int(text, value)) {
+      case IntParse::kEmpty:
+        throw UsageError(name, std::string(text), "expected an integer, got "
+                                                  "an empty value");
+      case IntParse::kBadDigit:
+      case IntParse::kTrailingJunk:
+        throw UsageError(name, std::string(text),
+                         "expected an integer, got non-numeric text");
+      case IntParse::kOverflow:
+        throw UsageError(name, std::string(text),
+                         "value does not fit in a 64-bit integer");
+      case IntParse::kOk:
+        break;
     }
+    if (value < min || value > max) {
+      throw UsageError(name, std::string(text),
+                       "value out of range [" + std::to_string(min) + ", " +
+                           std::to_string(max) + "]");
+    }
+    return value;
   }
   return fallback;
 }
 
-/// Returns the string value of `--name=value`, or `fallback`.
+/// flag_int_checked with the UsageError rendered to stderr + exit(2) — the
+/// form the bench mains call so a bad flag fails loudly instead of running
+/// a garbage configuration.
+inline std::int64_t flag_int(
+    int argc, char** argv, const char* name, std::int64_t fallback,
+    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
+  try {
+    return flag_int_checked(argc, argv, name, fallback, min, max);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Returns the string value of `--name=value` (first occurrence wins), or
+/// `fallback`.
 inline std::string flag_value(int argc, char** argv, const char* name,
                               const char* fallback = "") {
   const std::string prefix = std::string(name) + "=";
@@ -49,9 +134,13 @@ inline bool flag_set(int argc, char** argv, const char* name) {
   return false;
 }
 
-/// Worker-count sweep: the paper scales "up to 100 processors".
+/// Worker-count sweep: the paper scales "up to 100 processors". An explicit
+/// `--workers=N` must be positive — an earlier version treated `--workers=0`
+/// (and, via atoll, `--workers=abc`) as "not set" and silently ran the full
+/// ten-point sweep instead of the point the user asked for.
 inline std::vector<int> worker_sweep(int argc, char** argv) {
-  if (const std::int64_t w = flag_int(argc, argv, "--workers", 0); w > 0) {
+  if (const std::int64_t w = flag_int(argc, argv, "--workers", 0, 1, 100'000);
+      w > 0) {
     return {static_cast<int>(w)};
   }
   if (flag_set(argc, argv, "--quick")) return {1, 4, 16, 48, 96};
@@ -84,9 +173,15 @@ class Table {
     for (const auto& row : rows_) print_row(row, width);
   }
 
-  void print_csv() const {
-    print_csv_row(headers_);
-    for (const auto& row : rows_) print_csv_row(row);
+  void print_csv() const { std::fputs(csv_string().c_str(), stdout); }
+
+  /// The CSV rendering as a string — the canonical byte-comparable form the
+  /// scenario driver's --selfcheck and the replay tests diff.
+  std::string csv_string() const {
+    std::string out;
+    append_csv_row(out, headers_);
+    for (const auto& row : rows_) append_csv_row(out, row);
+    return out;
   }
 
  private:
@@ -97,9 +192,11 @@ class Table {
                   (c + 1 < row.size()) ? " | " : "\n");
     }
   }
-  static void print_csv_row(const std::vector<std::string>& row) {
+  static void append_csv_row(std::string& out,
+                             const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::printf("%s%s", row[c].c_str(), (c + 1 < row.size()) ? "," : "\n");
+      out += row[c];
+      out += (c + 1 < row.size()) ? "," : "\n";
     }
   }
 

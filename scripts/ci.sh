@@ -50,6 +50,20 @@ run_config() {
   echo "=== geo ${dir} ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L geo
   "${dir}/bench/bench_ext_geo" --smoke --selfcheck
+  # The scenario suite re-runs by label (DSL diagnostics, generator KATs,
+  # flag-parsing regressions, byte-identical driver replays), and the
+  # generic driver's smoke run proves end-to-end replay determinism in this
+  # configuration. The full-paper-scale fig-parity checks (label `parity`)
+  # are excluded in the sanitizer lap — they re-run every legacy figure
+  # under ASan for minutes without adding coverage the Release lap lacks.
+  echo "=== scenario ${dir} ==="
+  if [[ "${dir}" == *sanitize* ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      -L scenario -LE parity
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L scenario
+  fi
+  "${dir}/bench/bench_scenario" --smoke --selfcheck
 }
 
 # TSan config: builds only the parallel-kernel suite and runs it under
@@ -91,9 +105,13 @@ run_tidy() {
   # hold them to a hard bugprone-* gate (warnings fail the build) rather
   # than the advisory repo-wide pass above.
   echo "=== clang-tidy hard gate: src/obs + src/framework + src/cluster ==="
+  # scenario.cpp carries the DSL parser (hand-rolled recursive descent over
+  # raw pointers) and scenario_test.cpp is the TU that instantiates the
+  # whole keygen + runner header stack — both join the hard gate.
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='bugprone-*' \
     src/obs/observer.cpp src/framework/load_engine.cpp \
-    src/cluster/geo_replication.cpp
+    src/framework/scenario.cpp src/cluster/geo_replication.cpp \
+    tests/scenario_test.cpp
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Byte-identity check: a figure-mode scenario spec replayed through
+# bench_scenario must reproduce the legacy fig binary's CSV table exactly.
+#
+#   scenario_parity.sh <bench_scenario> <spec.json> <legacy_binary>
+#
+# The legacy binaries print a human banner, a blank line, then the CSV
+# table; bench_scenario --csv prints the table alone. Strip the banner
+# (everything up to and including the first blank line) and diff the rest.
+set -euo pipefail
+
+scenario_bin=$1
+spec=$2
+legacy_bin=$3
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$scenario_bin" --spec="$spec" --csv > "$workdir/scenario.csv"
+"$legacy_bin" --csv | awk 'f{print} /^$/{f=1}' > "$workdir/legacy.csv"
+
+if ! diff -u "$workdir/legacy.csv" "$workdir/scenario.csv"; then
+  echo "PARITY FAIL: $spec diverges from $legacy_bin" >&2
+  exit 1
+fi
+echo "PARITY OK: $spec == $legacy_bin"
