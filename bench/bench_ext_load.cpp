@@ -18,6 +18,10 @@
 // Flags:
 //   --smoke          tiny populations for CI
 //   --population=N   single population instead of the default sweep
+//   --rate_scale=X   multiply the offered arrival rate (default 1.0): 0.5
+//                    halves the P/10 per-second rate, 2.0 doubles it — the
+//                    knob that moves a fixed population across the
+//                    under-/over-load boundary
 //   --csv            CSV instead of the fixed-width table
 //   --json           JSON rows instead of the table
 //   --selfcheck      run the sweep twice, fail unless byte-identical
@@ -74,7 +78,8 @@ sim::Task<void> session_body(sim::Simulation& s, cluster::StorageCluster& cl,
   }
 }
 
-PointResult run_point(std::int64_t population, std::uint64_t seed) {
+PointResult run_point(std::int64_t population, std::uint64_t seed,
+                      double rate_scale) {
   sim::Simulation s;
   obs::Observer observer;
   s.set_observer(&observer);
@@ -92,7 +97,8 @@ PointResult run_point(std::int64_t population, std::uint64_t seed) {
 
   framework::LoadEngineConfig ecfg;
   ecfg.arrivals.kind = framework::ArrivalConfig::Kind::kPoisson;
-  ecfg.arrivals.rate_per_sec = static_cast<double>(population) / 10.0;
+  ecfg.arrivals.rate_per_sec =
+      static_cast<double>(population) / 10.0 * rate_scale;
   ecfg.arrivals.seed = seed;
   ecfg.max_sessions = population;
   ecfg.max_in_flight =
@@ -171,11 +177,12 @@ std::string render_canonical(const std::vector<std::vector<std::string>>& rows) 
 }
 
 std::vector<std::vector<std::string>> run_sweep(
-    const std::vector<std::int64_t>& populations, std::uint64_t seed) {
+    const std::vector<std::int64_t>& populations, std::uint64_t seed,
+    double rate_scale) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(populations.size());
   for (const std::int64_t p : populations) {
-    rows.push_back(row_cells(run_point(p, seed)));
+    rows.push_back(row_cells(run_point(p, seed, rate_scale)));
   }
   return rows;
 }
@@ -202,6 +209,10 @@ int main(int argc, char** argv) {
   const bool selfcheck = benchutil::flag_set(argc, argv, "--selfcheck");
   const std::uint64_t seed = static_cast<std::uint64_t>(
       benchutil::flag_int(argc, argv, "--seed", 0x10AD));
+  // Strict double parse: `--rate_scale=fast`, `--rate_scale=1.5x`, and
+  // `--rate_scale=inf` are all usage errors, not a garbage sweep.
+  const double rate_scale =
+      benchutil::flag_double(argc, argv, "--rate_scale", 1.0, 1e-3, 1e3);
 
   std::vector<std::int64_t> populations;
   if (const std::int64_t p =
@@ -214,9 +225,9 @@ int main(int argc, char** argv) {
     populations = {1'000, 10'000, 100'000, 1'000'000};
   }
 
-  const auto rows = run_sweep(populations, seed);
+  const auto rows = run_sweep(populations, seed, rate_scale);
   if (selfcheck) {
-    const auto again = run_sweep(populations, seed);
+    const auto again = run_sweep(populations, seed, rate_scale);
     if (render_canonical(rows) != render_canonical(again)) {
       std::fprintf(stderr, "selfcheck FAILED: replay diverged\n");
       return 1;

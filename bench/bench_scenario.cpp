@@ -14,6 +14,9 @@
 // Flags:
 //   --spec=FILE    the scenario spec (required unless --smoke)
 //   --smoke        built-in tiny four-service spec for CI
+//   --backend=B    override the spec's backend (azure | s3 | tiered);
+//                  generic mode only, and the mix must fit the target
+//                  backend's capabilities
 //   --csv          machine-diffable output: the table(s) only, as CSV
 //   --selfcheck    run twice, fail (exit 1) unless byte-identical —
 //                  including the obs JSON export when --obs is on
@@ -168,6 +171,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --backend=B re-targets a generic spec at another backend without
+  // editing the file (the cross-backend cost sweeps run one spec N times).
+  const std::string backend_flag =
+      benchutil::flag_value(argc, argv, "--backend");
+  if (!backend_flag.empty()) {
+    if (sc.figure_mode()) {
+      std::fprintf(stderr,
+                   "usage error: --backend does not apply to figure-replay "
+                   "specs (figures are defined by the Azure contract)\n");
+      return 2;
+    }
+    if (backend_flag == "azure") {
+      sc.backend = framework::BackendKind::kAzure;
+    } else if (backend_flag == "s3") {
+      sc.backend = framework::BackendKind::kS3;
+    } else if (backend_flag == "tiered") {
+      sc.backend = framework::BackendKind::kTiered;
+    } else {
+      std::fprintf(stderr,
+                   "usage error: unknown backend '%s' (azure | s3 | tiered)\n",
+                   backend_flag.c_str());
+      return 2;
+    }
+    // The parser validated the mix against the spec's own backend; the
+    // override must re-check against the new one.
+    for (const framework::ScenarioMixEntry& e : sc.mix) {
+      if (!framework::backend_supports(sc.backend, e.service)) {
+        std::fprintf(stderr,
+                     "usage error: backend '%s' has no %s service — the mix "
+                     "in this spec does not fit it\n",
+                     framework::backend_name(sc.backend),
+                     framework::service_name(e.service));
+        return 2;
+      }
+    }
+  }
+
   const RunOutput out = run_once(sc, obs_flags.enabled);
   if (selfcheck) {
     const RunOutput replay = run_once(sc, obs_flags.enabled);
@@ -196,7 +236,9 @@ int main(int argc, char** argv) {
                   sc.figure->id);
     } else {
       std::printf(
-          "generic mode: %lld ops, seed %llu, populate %lld per service\n\n",
+          "generic mode: backend %s, %lld ops, seed %llu, populate %lld per "
+          "service\n\n",
+          framework::backend_name(sc.backend),
           static_cast<long long>(sc.operations),
           static_cast<unsigned long long>(sc.seed),
           static_cast<long long>(sc.populate_count()));

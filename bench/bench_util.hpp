@@ -17,6 +17,7 @@
 
 #include "obs/observer.hpp"
 #include "simcore/time.hpp"
+#include "strict_parse.hpp"
 
 namespace benchutil {
 
@@ -28,37 +29,10 @@ namespace benchutil {
 //    overflow are typed usage errors (exit code 2), never silent zeros. An
 //    earlier version used std::atoll, which turned `--workers=abc` into 0
 //    and `--workers=9999999999999999999999` into undefined behaviour.
-
-/// Typed usage error: names the flag, the offending text, and the reason.
-class UsageError : public std::runtime_error {
- public:
-  UsageError(std::string flag, std::string value, std::string reason)
-      : std::runtime_error(flag + "=" + value + ": " + reason),
-        flag_(std::move(flag)),
-        value_(std::move(value)),
-        reason_(std::move(reason)) {}
-
-  const std::string& flag() const noexcept { return flag_; }
-  const std::string& value() const noexcept { return value_; }
-  const std::string& reason() const noexcept { return reason_; }
-
- private:
-  std::string flag_, value_, reason_;
-};
-
-enum class IntParse { kOk, kEmpty, kBadDigit, kTrailingJunk, kOverflow };
-
-/// Strict full-string integer parse (optional leading '-', decimal only).
-inline IntParse parse_int(std::string_view text, std::int64_t& out) {
-  if (text.empty()) return IntParse::kEmpty;
-  const char* first = text.data();
-  const char* last = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(first, last, out);
-  if (ec == std::errc::result_out_of_range) return IntParse::kOverflow;
-  if (ec != std::errc{}) return IntParse::kBadDigit;
-  if (ptr != last) return IntParse::kTrailingJunk;
-  return IntParse::kOk;
-}
+//
+// The parsers themselves (UsageError, parse_int, parse_double, ...) live in
+// strict_parse.hpp so tests and examples can reuse them without pulling in
+// the simulator headers this file needs for the observability exporters.
 
 /// Returns the value of `--name=value` (first occurrence wins), or
 /// `fallback` when the flag is absent. Explicitly-passed values must parse
@@ -73,21 +47,7 @@ inline std::int64_t flag_int_checked(
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
     const std::string_view text(argv[i] + prefix.size());
-    std::int64_t value = 0;
-    switch (parse_int(text, value)) {
-      case IntParse::kEmpty:
-        throw UsageError(name, std::string(text), "expected an integer, got "
-                                                  "an empty value");
-      case IntParse::kBadDigit:
-      case IntParse::kTrailingJunk:
-        throw UsageError(name, std::string(text),
-                         "expected an integer, got non-numeric text");
-      case IntParse::kOverflow:
-        throw UsageError(name, std::string(text),
-                         "value does not fit in a 64-bit integer");
-      case IntParse::kOk:
-        break;
-    }
+    const std::int64_t value = require_int(name, text);
     if (value < min || value > max) {
       throw UsageError(name, std::string(text),
                        "value out of range [" + std::to_string(min) + ", " +
@@ -107,6 +67,49 @@ inline std::int64_t flag_int(
     std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
   try {
     return flag_int_checked(argc, argv, name, fallback, min, max);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Renders a double bound compactly for range-error messages ("0.25", not
+/// "0.250000"); std::to_string's fixed six decimals would garble 1e18.
+inline std::string fmt_bound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Double-valued counterpart of flag_int_checked: strict full-token parse
+/// (from_chars — no locale, no partial consumption), finite-only, bounds
+/// checked, first occurrence wins, fallback returned as-is.
+inline double flag_double_checked(
+    int argc, char** argv, const char* name, double fallback,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max()) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    const std::string_view text(argv[i] + prefix.size());
+    const double value = require_double(name, text);
+    if (value < min || value > max) {
+      throw UsageError(name, std::string(text),
+                       "value out of range [" + fmt_bound(min) + ", " +
+                           fmt_bound(max) + "]");
+    }
+    return value;
+  }
+  return fallback;
+}
+
+/// flag_double_checked with the UsageError rendered to stderr + exit(2).
+inline double flag_double(
+    int argc, char** argv, const char* name, double fallback,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max()) {
+  try {
+    return flag_double_checked(argc, argv, name, fallback, min, max);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "usage error: %s\n", e.what());
     std::exit(2);

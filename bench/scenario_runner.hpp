@@ -1,8 +1,9 @@
 // Generic-mode interpreter for declarative scenario specs
-// (framework/scenario.hpp): one open-loop LoadEngine run against a
-// CloudEnvironment shaped by the spec. Lives in bench/ as a header so both
-// the driver binary (bench_scenario.cpp) and the replay tests
-// (tests/scenario_test.cpp) execute the exact same code path.
+// (framework/scenario.hpp): one open-loop LoadEngine run against whichever
+// storage backend the spec names (`"backend"` key — azure | s3 | tiered),
+// reached exclusively through the storage::Driver interface. Lives in
+// bench/ as a header so both the driver binary (bench_scenario.cpp) and the
+// replay tests (tests/scenario_test.cpp) execute the exact same code path.
 //
 // Execution model:
 //   setup phase  — create the containers/queues/tables/databases the mix
@@ -13,7 +14,8 @@
 //   load phase   — LoadEngine sessions arrive per the spec's arrival
 //                  process. Each session draws: mix entry, key, value size,
 //                  think time — all from deterministic streams — then issues
-//                  one storage operation, retrying ServerBusy with doubling
+//                  one storage operation, retrying ServerBusy (which covers
+//                  the S3 backend's 503 SlowDown subclass) with doubling
 //                  backoff up to 4 attempts.
 //
 // Accounting is plain integers plus obs::LatencyHistogram (integer log2
@@ -28,9 +30,6 @@
 #include <string>
 #include <vector>
 
-#include "azure/cloud_storage_account.hpp"
-#include "azure/environment.hpp"
-#include "azure/sql/sql_service.hpp"
 #include "bench_util.hpp"
 #include "faults/errors.hpp"
 #include "framework/keygen.hpp"
@@ -40,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "simcore/simulation.hpp"
+#include "storage/driver.hpp"
 
 namespace benchscn {
 
@@ -66,6 +66,8 @@ namespace detail {
 enum class OpCode {
   kBlobRead,
   kBlobWrite,
+  kBlobList,
+  kBlobDelete,
   kQueuePut,
   kQueueGet,
   kQueuePeek,
@@ -84,6 +86,8 @@ inline OpCode resolve_op(const framework::ScenarioMixEntry& e, bool read) {
   switch (e.service) {
     case S::kBlob:
       if (op == "read" || (op == "mixed" && read)) return OpCode::kBlobRead;
+      if (op == "list") return OpCode::kBlobList;
+      if (op == "delete") return OpCode::kBlobDelete;
       return OpCode::kBlobWrite;
     case S::kQueue:
       if (op == "get" || (op == "mixed" && read)) return OpCode::kQueueGet;
@@ -109,7 +113,7 @@ constexpr std::int64_t kQueueSeedCap = 1'000;
 struct Driver {
   const framework::Scenario& sc;
   sim::Simulation s;
-  azure::CloudEnvironment env;
+  std::unique_ptr<storage::Driver> backend;
   std::vector<std::unique_ptr<netsim::Nic>> nics;
   framework::KeyGen keygen;
   std::vector<double> cum_weight;
@@ -117,7 +121,9 @@ struct Driver {
   bool use[4] = {false, false, false, false};  // blob/queue/table/sql
 
   explicit Driver(const framework::Scenario& scenario)
-      : sc(scenario), env(s, cloud_config(scenario)), keygen(scenario.keys) {
+      : sc(scenario),
+        backend(storage::make_driver(s, scenario)),
+        keygen(scenario.keys) {
     for (int i = 0; i < kClientNics; ++i) {
       nics.push_back(std::make_unique<netsim::Nic>(
           s, netsim::NicConfig{100e6, 100e6, sim::micros(50), 64 * 1024.0}));
@@ -129,22 +135,6 @@ struct Driver {
       cum_weight.push_back(total);
       use[static_cast<int>(e.service)] = true;
     }
-  }
-
-  static azure::CloudConfig cloud_config(const framework::Scenario& sc) {
-    azure::CloudConfig cc;
-    cc.cluster.partition_servers = sc.cluster.partition_servers;
-    cc.cluster.balancer.enabled = sc.cluster.balancer;
-    cc.cluster.throttle_mode = sc.cluster.throttle_queue
-                                   ? cluster::ThrottleMode::kQueue
-                                   : cluster::ThrottleMode::kReject;
-    cc.faults.seed = sc.faults.seed;
-    cc.faults.drop_probability = sc.faults.drop_probability;
-    cc.faults.duplicate_probability = sc.faults.duplicate_probability;
-    cc.faults.latency_spike_probability = sc.faults.latency_spike_probability;
-    cc.faults.corruption_probability = sc.faults.corruption_probability;
-    cc.faults.server_crashes = sc.faults.server_crashes;
-    return cc;
   }
 
   netsim::Nic& nic_for(std::int64_t session_id) {
@@ -181,154 +171,71 @@ struct Driver {
   }
   std::string row_of(std::uint64_t key) const { return tagged('r', key); }
 
-  azure::TableEntity make_entity(std::uint64_t key, std::int64_t bytes) const {
-    azure::TableEntity e;
-    e.partition_key = partition_of(key);
-    e.row_key = row_of(key);
-    e.properties["data"] = azure::Payload::synthetic(bytes);
-    return e;
-  }
-
-  // One resolved operation. Returns bytes moved; records miss via out-param
-  // so the caller keeps all the per-entry accounting in one place.
+  // One resolved operation, delegated to the backend driver. Returns bytes
+  // moved; records miss via out-param so the caller keeps all the
+  // per-entry accounting in one place.
   sim::Task<std::int64_t> execute(OpCode op, std::uint64_t key,
                                   std::int64_t bytes, netsim::Nic& nic,
                                   bool& miss) {
-    azure::CloudStorageAccount account(env, nic);
+    storage::OpResult r;
     switch (op) {
-      case OpCode::kBlobRead: {
-        auto blob = account.create_cloud_blob_client()
-                        .get_container_reference("c")
-                        .get_block_blob_reference(blob_name(key));
-        try {
-          const azure::Payload p = co_await blob.download_text();
-          co_return p.size();
-        } catch (const azure::NotFoundError&) {
-          miss = true;
-          co_return 0;
-        }
-      }
-      case OpCode::kBlobWrite: {
-        auto blob = account.create_cloud_blob_client()
-                        .get_container_reference("c")
-                        .get_block_blob_reference(blob_name(key));
-        azure::Payload body = azure::Payload::synthetic(bytes);
-        co_await blob.upload_text(std::move(body));
-        co_return bytes;
-      }
+      case OpCode::kBlobRead:
+        r = co_await backend->object_read(nic, blob_name(key));
+        break;
+      case OpCode::kBlobWrite:
+        r = co_await backend->object_write(nic, blob_name(key), bytes);
+        break;
+      case OpCode::kBlobList:
+        r = co_await backend->object_list(nic);
+        break;
+      case OpCode::kBlobDelete:
+        // Contract difference stays visible here: Azure books a delete of
+        // an absent blob as a miss (404); S3 books it as a completed op
+        // (idempotent 204).
+        r = co_await backend->object_delete(nic, blob_name(key));
+        break;
       case OpCode::kQueuePut: {
         // Pub/sub fanout: one put publishes the message to every queue.
-        auto queues = account.create_cloud_queue_client();
         for (int f = 0; f < sc.queue_fanout; ++f) {
-          auto q = queues.get_queue_reference(tagged('q', static_cast<std::uint64_t>(f)));
-          azure::Payload body = azure::Payload::synthetic(bytes);
-          co_await q.add_message(std::move(body));
+          const storage::OpResult one = co_await backend->queue_put(
+              nic, tagged('q', static_cast<std::uint64_t>(f)), bytes);
+          r.bytes += one.bytes;
         }
-        co_return bytes * sc.queue_fanout;
+        break;
       }
-      case OpCode::kQueueGet: {
-        auto q = account.create_cloud_queue_client().get_queue_reference(
-            queue_name(key));
-        const std::optional<azure::QueueMessage> m =
-            co_await q.get_message();
-        if (!m.has_value()) {
-          miss = true;
-          co_return 0;
-        }
-        co_await q.delete_message(*m);
-        co_return m->body.size();
-      }
-      case OpCode::kQueuePeek: {
-        auto q = account.create_cloud_queue_client().get_queue_reference(
-            queue_name(key));
-        const std::optional<azure::QueueMessage> m =
-            co_await q.peek_message();
-        if (!m.has_value()) {
-          miss = true;
-          co_return 0;
-        }
-        co_return m->body.size();
-      }
-      case OpCode::kTableRead: {
-        auto t = account.create_cloud_table_client().get_table_reference("t");
-        try {
-          const azure::TableEntity e =
-              co_await t.query(partition_of(key), row_of(key));
-          co_return e.size();
-        } catch (const azure::NotFoundError&) {
-          miss = true;
-          co_return 0;
-        }
-      }
-      case OpCode::kTableInsert: {
-        // insert_or_replace: YCSB-style inserts land on generator-drawn
-        // keys, which collide with the populated range by design.
-        auto t = account.create_cloud_table_client().get_table_reference("t");
-        co_await t.insert_or_replace(make_entity(key, bytes));
-        co_return bytes;
-      }
-      case OpCode::kTableUpdate: {
-        auto t = account.create_cloud_table_client().get_table_reference("t");
-        try {
-          co_await t.update(make_entity(key, bytes), "*");
-          co_return bytes;
-        } catch (const azure::NotFoundError&) {
-          miss = true;
-          co_return 0;
-        }
-      }
-      case OpCode::kTableScan: {
-        auto t = account.create_cloud_table_client().get_table_reference("t");
-        const std::vector<azure::TableEntity> rows =
-            co_await t.query_partition(partition_of(key));
-        if (rows.empty()) {
-          miss = true;
-          co_return 0;
-        }
-        std::int64_t got = 0;
-        for (const azure::TableEntity& e : rows) got += e.size();
-        co_return got;
-      }
-      case OpCode::kTableRmw: {
-        auto t = account.create_cloud_table_client().get_table_reference("t");
-        try {
-          azure::TableEntity e =
-              co_await t.query(partition_of(key), row_of(key));
-          const std::int64_t read_bytes = e.size();
-          e.properties["data"] = azure::Payload::synthetic(bytes);
-          co_await t.update(std::move(e), "*");
-          co_return read_bytes + bytes;
-        } catch (const azure::NotFoundError&) {
-          miss = true;
-          co_return 0;
-        }
-      }
-      case OpCode::kSqlRead: {
-        azure::sql::Value k{static_cast<std::int64_t>(key)};
-        const std::optional<azure::sql::Row> row =
-            co_await env.sql_service().select_by_key(nic, "db", "t",
-                                                     std::move(k));
-        if (!row.has_value()) {
-          miss = true;
-          co_return 0;
-        }
-        co_return static_cast<std::int64_t>(
-            std::get<std::string>((*row)[1]).size());
-      }
-      case OpCode::kSqlWrite: {
-        azure::sql::Row row;
-        row.emplace_back(static_cast<std::int64_t>(key));
-        row.emplace_back(std::string(static_cast<std::size_t>(bytes), 'v'));
-        azure::sql::Value k{static_cast<std::int64_t>(key)};
-        const bool matched = co_await env.sql_service().update_by_key(
-            nic, "db", "t", std::move(k), row);
-        if (!matched) {
-          co_await env.sql_service().insert(nic, "db", "t", std::move(row));
-        }
-        co_return bytes;
-      }
+      case OpCode::kQueueGet:
+        r = co_await backend->queue_get(nic, queue_name(key));
+        break;
+      case OpCode::kQueuePeek:
+        r = co_await backend->queue_peek(nic, queue_name(key));
+        break;
+      case OpCode::kTableRead:
+        r = co_await backend->table_read(nic, partition_of(key), row_of(key));
+        break;
+      case OpCode::kTableInsert:
+        r = co_await backend->table_insert(nic, partition_of(key),
+                                           row_of(key), bytes);
+        break;
+      case OpCode::kTableUpdate:
+        r = co_await backend->table_update(nic, partition_of(key),
+                                           row_of(key), bytes);
+        break;
+      case OpCode::kTableScan:
+        r = co_await backend->table_scan(nic, partition_of(key));
+        break;
+      case OpCode::kTableRmw:
+        r = co_await backend->table_rmw(nic, partition_of(key), row_of(key),
+                                        bytes);
+        break;
+      case OpCode::kSqlRead:
+        r = co_await backend->sql_read(nic, key);
+        break;
+      case OpCode::kSqlWrite:
+        r = co_await backend->sql_write(nic, key, bytes);
+        break;
     }
-    co_return 0;
+    miss = r.miss;
+    co_return r.bytes;
   }
 
   sim::Task<void> session(framework::LoadEngine::Session& sess) {
@@ -362,6 +269,8 @@ struct Driver {
         }
         co_return;
       } catch (const cluster::ServerBusyError&) {
+        // Covers both the Azure account gate and the S3 per-prefix 503
+        // SlowDown (a ServerBusyError subclass): same backoff policy.
         if (attempt >= kMaxAttempts) {
           ms.err += 1;
           throw;  // the engine books the throttle failure
@@ -403,56 +312,47 @@ struct Driver {
   sim::Task<void> setup(framework::LoadEngine& engine) {
     using S = framework::ScenarioMixEntry::Service;
     netsim::Nic& nic = *nics[0];
-    azure::CloudStorageAccount account(env, nic);
     const std::int64_t pop = sc.populate_count();
     sim::Random sizes(framework::scenario_derive_seed(sc.seed, 0x5E7F));
 
     if (use[static_cast<int>(S::kBlob)]) {
-      auto container =
-          account.create_cloud_blob_client().get_container_reference("c");
-      co_await container.create();
+      co_await backend->prepare_objects(nic);
       for (std::int64_t k = 0; k < pop; ++k) {
-        auto blob = container.get_block_blob_reference(
-            blob_name(static_cast<std::uint64_t>(k)));
-        azure::Payload body = azure::Payload::synthetic(pick_bytes(sizes));
-        co_await patient([&]() { return blob.upload_text(body); });
+        const std::string name = blob_name(static_cast<std::uint64_t>(k));
+        const std::int64_t b = pick_bytes(sizes);
+        co_await patient(
+            [&]() { return backend->object_write(nic, name, b); });
       }
     }
     if (use[static_cast<int>(S::kQueue)]) {
-      auto queues = account.create_cloud_queue_client();
       const std::int64_t seed_msgs = std::min(pop, kQueueSeedCap);
       for (int f = 0; f < sc.queue_fanout; ++f) {
-        auto q = queues.get_queue_reference(tagged('q', static_cast<std::uint64_t>(f)));
-        co_await q.create();
+        const std::string q = tagged('q', static_cast<std::uint64_t>(f));
+        co_await backend->prepare_queue(nic, q);
         for (std::int64_t m = 0; m < seed_msgs; ++m) {
-          azure::Payload body = azure::Payload::synthetic(pick_bytes(sizes));
-          co_await patient([&]() { return q.add_message(body); });
+          const std::int64_t b = pick_bytes(sizes);
+          co_await patient([&]() { return backend->queue_put(nic, q, b); });
         }
       }
     }
     if (use[static_cast<int>(S::kTable)]) {
-      auto t = account.create_cloud_table_client().get_table_reference("t");
-      co_await t.create();
+      co_await backend->prepare_table(nic);
       for (std::int64_t k = 0; k < pop; ++k) {
-        azure::TableEntity e = make_entity(static_cast<std::uint64_t>(k),
-                                           pick_bytes(sizes));
-        co_await patient([&]() { return t.insert(e); });
+        const std::uint64_t kk = static_cast<std::uint64_t>(k);
+        const std::string part = partition_of(kk);
+        const std::string row = row_of(kk);
+        const std::int64_t b = pick_bytes(sizes);
+        co_await patient(
+            [&]() { return backend->table_insert(nic, part, row, b); });
       }
     }
     if (use[static_cast<int>(S::kSql)]) {
-      auto& db = env.sql_service();
-      co_await db.create_database(nic, "db",
-                                  azure::sql::Edition::kBusiness50GB);
-      std::vector<azure::sql::Column> schema = {
-          {"k", azure::sql::ColumnType::kInt},
-          {"v", azure::sql::ColumnType::kText}};
-      co_await db.create_table(nic, "db", "t", std::move(schema));
+      co_await backend->prepare_sql(nic);
       for (std::int64_t k = 0; k < pop; ++k) {
-        azure::sql::Row row;
-        row.emplace_back(k);
-        row.emplace_back(std::string(
-            static_cast<std::size_t>(pick_bytes(sizes)), 'v'));
-        co_await db.insert(nic, "db", "t", std::move(row));
+        const std::int64_t b = pick_bytes(sizes);
+        co_await patient([&]() {
+          return backend->sql_write(nic, static_cast<std::uint64_t>(k), b);
+        });
       }
     }
     // Arrivals start on the post-setup clock (the engine walks forward
@@ -537,11 +437,13 @@ inline benchutil::Table load_table(const ScenarioRunResult& r) {
   return t;
 }
 
-/// The canonical byte-comparable report: scenario name + both tables as
-/// CSV. --selfcheck and the replay tests diff exactly this string.
+/// The canonical byte-comparable report: scenario name, backend, and both
+/// tables as CSV. --selfcheck and the replay tests diff exactly this
+/// string.
 inline std::string canonical_report(const framework::Scenario& sc,
                                     const ScenarioRunResult& r) {
   std::string out = "scenario," + sc.name + "\n";
+  out += std::string("backend,") + framework::backend_name(sc.backend) + "\n";
   out += mix_table(sc, r).csv_string();
   out += "\n";
   out += load_table(r).csv_string();

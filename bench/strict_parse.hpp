@@ -1,0 +1,152 @@
+// Strict numeric parsing shared by the bench flag parser (bench_util.hpp),
+// the chaos harness, and the example programs. Deliberately dependency-free
+// (no simulator headers) so tests and examples can include just this.
+//
+// The contract for every parser here: the WHOLE token must parse (no
+// trailing junk), empty input is an error, overflow is an error, and
+// doubles must additionally be finite — never the atoi/atof/unchecked-stod
+// behaviour of turning "abc" into 0 or "1e999" into inf.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace benchutil {
+
+/// Typed usage error: names the flag, the offending text, and the reason.
+class UsageError : public std::runtime_error {
+ public:
+  UsageError(std::string flag, std::string value, std::string reason)
+      : std::runtime_error(flag + "=" + value + ": " + reason),
+        flag_(std::move(flag)),
+        value_(std::move(value)),
+        reason_(std::move(reason)) {}
+
+  const std::string& flag() const noexcept { return flag_; }
+  const std::string& value() const noexcept { return value_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string flag_, value_, reason_;
+};
+
+enum class IntParse { kOk, kEmpty, kBadDigit, kTrailingJunk, kOverflow };
+
+/// Strict full-string integer parse (optional leading '-', decimal only).
+inline IntParse parse_int(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return IntParse::kEmpty;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return IntParse::kOverflow;
+  if (ec != std::errc{}) return IntParse::kBadDigit;
+  if (ptr != last) return IntParse::kTrailingJunk;
+  return IntParse::kOk;
+}
+
+/// Strict full-string unsigned 64-bit parse (decimal only, no sign) — for
+/// seed-valued flags whose range exceeds int64.
+inline IntParse parse_uint64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return IntParse::kEmpty;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return IntParse::kOverflow;
+  if (ec != std::errc{}) return IntParse::kBadDigit;
+  if (ptr != last) return IntParse::kTrailingJunk;
+  return IntParse::kOk;
+}
+
+enum class DoubleParse { kOk, kEmpty, kBadDigit, kTrailingJunk, kNotFinite };
+
+/// Strict full-string double parse. The entire token must be consumed and
+/// the result must be finite ("nan", "inf", and overflowing exponents are
+/// all errors — a rate or probability of inf is never what the user meant).
+inline DoubleParse parse_double(std::string_view text, double& out) {
+  if (text.empty()) return DoubleParse::kEmpty;
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return DoubleParse::kNotFinite;
+  if (ec != std::errc{}) return DoubleParse::kBadDigit;
+  if (ptr != last) return DoubleParse::kTrailingJunk;
+#else
+  // Fallback: strtod on a NUL-terminated copy, full-consumption enforced.
+  const std::string copy(text);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str()) return DoubleParse::kBadDigit;
+  if (end != copy.c_str() + copy.size()) return DoubleParse::kTrailingJunk;
+#endif
+  if (!std::isfinite(out)) return DoubleParse::kNotFinite;
+  return DoubleParse::kOk;
+}
+
+/// parse_int with the failure modes rendered as UsageError — the shared
+/// "one flag value, or die with a message naming it" helper.
+inline std::int64_t require_int(const char* flag, std::string_view text) {
+  std::int64_t value = 0;
+  switch (parse_int(text, value)) {
+    case IntParse::kEmpty:
+      throw UsageError(flag, std::string(text),
+                       "expected an integer, got an empty value");
+    case IntParse::kBadDigit:
+    case IntParse::kTrailingJunk:
+      throw UsageError(flag, std::string(text),
+                       "expected an integer, got non-numeric text");
+    case IntParse::kOverflow:
+      throw UsageError(flag, std::string(text),
+                       "value does not fit in a 64-bit integer");
+    case IntParse::kOk:
+      break;
+  }
+  return value;
+}
+
+/// parse_uint64 rendered as UsageError.
+inline std::uint64_t require_uint64(const char* flag, std::string_view text) {
+  std::uint64_t value = 0;
+  switch (parse_uint64(text, value)) {
+    case IntParse::kEmpty:
+      throw UsageError(flag, std::string(text),
+                       "expected an unsigned integer, got an empty value");
+    case IntParse::kBadDigit:
+    case IntParse::kTrailingJunk:
+      throw UsageError(flag, std::string(text),
+                       "expected an unsigned integer, got non-numeric text");
+    case IntParse::kOverflow:
+      throw UsageError(flag, std::string(text),
+                       "value does not fit in an unsigned 64-bit integer");
+    case IntParse::kOk:
+      break;
+  }
+  return value;
+}
+
+/// parse_double rendered as UsageError.
+inline double require_double(const char* flag, std::string_view text) {
+  double value = 0;
+  switch (parse_double(text, value)) {
+    case DoubleParse::kEmpty:
+      throw UsageError(flag, std::string(text),
+                       "expected a number, got an empty value");
+    case DoubleParse::kBadDigit:
+    case DoubleParse::kTrailingJunk:
+      throw UsageError(flag, std::string(text),
+                       "expected a number, got non-numeric text");
+    case DoubleParse::kNotFinite:
+      throw UsageError(flag, std::string(text),
+                       "value must be a finite number");
+    case DoubleParse::kOk:
+      break;
+  }
+  return value;
+}
+
+}  // namespace benchutil

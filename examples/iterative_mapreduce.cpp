@@ -11,6 +11,7 @@
 //     next iteration, until the centroids stop moving.
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "framework/bag_of_tasks.hpp"
 #include "simcore/random.hpp"
 #include "simcore/simulation.hpp"
+#include "strict_parse.hpp"
 
 using sim::Task;
 
@@ -59,14 +61,37 @@ std::string encode_centroids(const std::vector<Point>& c) {
   return out;
 }
 
+/// Strict coordinate parse for decode_centroids. The broadcast blob is
+/// machine-written, but a truncated upload or a stale-format blob used to
+/// hit unguarded std::stod here — which throws a bare std::invalid_argument
+/// that names nothing, or worse, silently accepts trailing junk ("1.0junk"
+/// → 1.0). Now any malformed token fails with the offending text spelled
+/// out.
+double parse_coordinate(std::string_view token) {
+  double value = 0;
+  if (benchutil::parse_double(token, value) != benchutil::DoubleParse::kOk) {
+    throw std::runtime_error("malformed centroid blob: bad coordinate '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
 std::vector<Point> decode_centroids(const std::string& s) {
   std::vector<Point> out;
   std::size_t pos = 0;
   while (pos < s.size()) {
     const auto comma = s.find(',', pos);
-    const auto semi = s.find(';', comma);
-    out.push_back(Point{std::stod(s.substr(pos, comma - pos)),
-                        std::stod(s.substr(comma + 1, semi - comma - 1))});
+    const auto semi = comma == std::string::npos ? std::string::npos
+                                                 : s.find(';', comma);
+    if (comma == std::string::npos || semi == std::string::npos) {
+      throw std::runtime_error(
+          "malformed centroid blob: expected 'x,y;' records, got '" +
+          s.substr(pos) + "'");
+    }
+    const std::string_view view = s;
+    out.push_back(Point{parse_coordinate(view.substr(pos, comma - pos)),
+                        parse_coordinate(
+                            view.substr(comma + 1, semi - comma - 1))});
     pos = semi + 1;
   }
   return out;

@@ -64,6 +64,13 @@ run_config() {
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L scenario
   fi
   "${dir}/bench/bench_scenario" --smoke --selfcheck
+  # The driver suite re-runs by label: backend conformance (the same op
+  # contract asserted against azure, s3, and tiered), the S3 throttling /
+  # visibility-lag semantics, and the cross-backend scenario packs'
+  # byte-identical --selfcheck replays. Coroutine-heavy code over three
+  # driver implementations — exactly what the sanitizer lap exists for.
+  echo "=== driver ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L driver
 }
 
 # TSan config: builds only the parallel-kernel suite and runs it under
@@ -104,13 +111,19 @@ run_tidy() {
   # discipline (coroutines holding references across suspension points) —
   # hold them to a hard bugprone-* gate (warnings fail the build) rather
   # than the advisory repo-wide pass above.
-  echo "=== clang-tidy hard gate: src/obs + src/framework + src/cluster ==="
+  echo "=== clang-tidy hard gate: src/obs + src/framework + src/cluster" \
+       "+ src/storage ==="
   # scenario.cpp carries the DSL parser (hand-rolled recursive descent over
   # raw pointers) and scenario_test.cpp is the TU that instantiates the
-  # whole keygen + runner header stack — both join the hard gate.
+  # whole keygen + runner header stack — both join the hard gate. The
+  # storage driver layer joins too: every method is a coroutine dispatching
+  # across backend state, the precise lifetime territory the gate polices.
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='bugprone-*' \
     src/obs/observer.cpp src/framework/load_engine.cpp \
     src/framework/scenario.cpp src/cluster/geo_replication.cpp \
+    src/storage/driver.cpp src/storage/azure_driver.cpp \
+    src/storage/s3_object_service.cpp src/storage/s3_driver.cpp \
+    src/storage/tiered_driver.cpp \
     tests/scenario_test.cpp
 }
 

@@ -88,7 +88,9 @@ sim::Task<std::vector<std::string>> BlobService::list_blobs(
   auto& c = require_container(container);
   std::vector<std::string> names;
   names.reserve(c.blobs.size());
-  for (const auto& [name, blob] : c.blobs) names.push_back(name);
+  for (const auto& [name, blob] : c.blobs) {
+    if (!blob.deleted) names.push_back(name);
+  }
   co_return names;
 }
 
@@ -113,7 +115,7 @@ BlobService::BlobData& BlobService::require_blob(
     BlobProperties::Kind expected_kind) {
   auto& c = require_container(container);
   auto it = c.blobs.find(name);
-  if (it == c.blobs.end()) {
+  if (it == c.blobs.end() || it->second.deleted) {
     throw NotFoundError("blob not found: " + container + "/" + name);
   }
   if (it->second.kind != expected_kind) {
@@ -128,6 +130,7 @@ BlobService::BlobData& BlobService::make_blob(std::string container,
                                               BlobProperties::Kind kind) {
   auto& c = require_container(container);
   BlobData& blob = c.blobs[name];
+  blob.deleted = false;  // writing to a tombstoned name resurrects it
   blob.kind = kind;
   blob.etag = next_etag();
   if (!blob.rt) {
@@ -610,9 +613,22 @@ sim::Task<void> BlobService::delete_blob(netsim::Nic& client,
                                          std::string name) {
   co_await metadata_op(client, hash(container, name), true);
   auto& c = require_container(container);
-  if (c.blobs.erase(name) == 0) {
+  auto it = c.blobs.find(name);
+  if (it == c.blobs.end() || it->second.deleted) {
     throw NotFoundError("blob not found: " + container + "/" + name);
   }
+  // Tombstone, don't erase: reads suspended on this blob's replica streams
+  // hold references to the node and its runtime. Clearing the content
+  // releases the payload memory; lookups treat the node as absent.
+  BlobData& blob = it->second;
+  blob.deleted = true;
+  blob.committed.clear();
+  blob.uncommitted.clear();
+  blob.committed_size = 0;
+  blob.pages.clear();
+  blob.page_extent = 0;
+  blob.page_max_size = 0;
+  blob.content_crc = 0;
 }
 
 sim::Task<bool> BlobService::blob_exists(netsim::Nic& client,
@@ -620,7 +636,9 @@ sim::Task<bool> BlobService::blob_exists(netsim::Nic& client,
                                          std::string name) {
   co_await metadata_op(client, hash(container, name), false);
   auto it = containers_.find(container);
-  co_return it != containers_.end() && it->second.blobs.count(name) > 0;
+  if (it == containers_.end()) co_return false;
+  const auto bit = it->second.blobs.find(name);
+  co_return bit != it->second.blobs.end() && !bit->second.deleted;
 }
 
 sim::Task<BlobProperties> BlobService::get_properties(
@@ -629,7 +647,7 @@ sim::Task<BlobProperties> BlobService::get_properties(
   co_await metadata_op(client, hash(container, name), false);
   auto& c = require_container(container);
   auto it = c.blobs.find(name);
-  if (it == c.blobs.end()) {
+  if (it == c.blobs.end() || it->second.deleted) {
     throw NotFoundError("blob not found: " + container + "/" + name);
   }
   const BlobData& b = it->second;

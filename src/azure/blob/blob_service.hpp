@@ -214,6 +214,10 @@ class BlobService {
     /// Checksum of the blob's current physical version (committed blocks,
     /// staged blocks, written pages). Every tracked write advances it.
     std::uint32_t content_crc = 0;
+    /// Tombstone: delete_blob clears the content but keeps the map node
+    /// (and rt) alive, because in-flight reads suspended on the replica
+    /// streams still reference both. All lookups treat it as absent.
+    bool deleted = false;
     std::unique_ptr<BlobRuntime> rt;
   };
 

@@ -21,6 +21,12 @@ enum class ThrottleMode {
   /// Admission-queue the request until the next window (an ablation that
   /// shows why rejection + client backoff is the observable behaviour).
   kQueue,
+  /// S3-style contract: no account-wide transaction gate at all; instead
+  /// each key *prefix* carries independent read and write request-rate
+  /// windows (prefix_read_requests_per_sec / prefix_write_requests_per_sec)
+  /// and overruns raise SlowDownError (HTTP 503 SlowDown). Requests whose
+  /// RequestCost carries no throttle_prefix are never throttled.
+  kPrefixSlowdown,
 };
 
 /// The partition-map load balancer (Calder et al., SOSP'11 §5: the partition
@@ -125,6 +131,15 @@ struct ClusterConfig {
   /// "maximum bandwidth support for up to 3 GB per second for a single
   /// storage account".
   double account_bytes_per_sec = 3.0 * 1024 * 1024 * 1024;
+
+  /// ThrottleMode::kPrefixSlowdown only: write (PUT/DELETE/COPY) requests
+  /// per second each key prefix sustains before 503 SlowDown. The default
+  /// mirrors S3's documented 3,500 write-requests-per-prefix target.
+  std::int64_t prefix_write_requests_per_sec = 3'500;
+
+  /// ThrottleMode::kPrefixSlowdown only: read (GET/HEAD/LIST) requests per
+  /// second per prefix. Mirrors S3's documented 5,500 read target.
+  std::int64_t prefix_read_requests_per_sec = 5'500;
 };
 
 }  // namespace cluster

@@ -30,6 +30,17 @@ class ServerBusyError : public StorageError {
   explicit ServerBusyError(const std::string& what) : StorageError(what) {}
 };
 
+/// S3-style per-prefix throttle response (HTTP 503 "SlowDown"). Raised by
+/// ThrottleMode::kPrefixSlowdown when one key prefix exceeds its
+/// read or write request-rate window. Derives from ServerBusyError so retry
+/// policies and client backoff loops classify it uniformly as "back off and
+/// retry" — the contract difference is the *scope* of the gate (one prefix
+/// vs. the whole account), not the client's recovery action.
+class SlowDownError : public ServerBusyError {
+ public:
+  explicit SlowDownError(const std::string& what) : ServerBusyError(what) {}
+};
+
 /// Raised when a request was routed with a stale partition-map version: the
 /// bucket owning the key moved to another server since the client last saw
 /// the map. The request was not executed; the redirect response refreshes

@@ -42,6 +42,15 @@ struct RequestCost {
   /// Whether the request counts against the account's transactions/s target.
   bool counts_as_transaction = true;
 
+  // ------------------------------------------- per-prefix throttling ----
+  /// ThrottleMode::kPrefixSlowdown only: hash of the key prefix this
+  /// request lands in. Each distinct value carries its own read and write
+  /// rate windows; 0 means the request is exempt from prefix throttling.
+  std::uint64_t throttle_prefix = 0;
+  /// Classifies the request against the prefix's read window (GET/HEAD/
+  /// LIST) instead of its write window (PUT/DELETE/COPY).
+  bool prefix_read = false;
+
   // ----------------------------------------------------------- integrity ----
   /// Identity of the stored object this request reads or writes, for
   /// end-to-end integrity tracking (0 = untracked: metadata and other
@@ -230,7 +239,27 @@ class StorageCluster {
     obs::TraceContext trace{};
     if (o != nullptr) trace = o->take_ambient();
 
-    if (cost.counts_as_transaction) {
+    if (cfg_.throttle_mode == ThrottleMode::kPrefixSlowdown) {
+      // S3-style contract: no account-wide gate. Each key prefix carries
+      // independent read/write request-rate windows; overruns reject with
+      // 503 SlowDown before any time is spent, like the front-end
+      // rejection of kReject but scoped to one prefix.
+      if (cost.throttle_prefix != 0) {
+        PrefixWindows& w = prefix_windows(cost.throttle_prefix);
+        sim::WindowCounter& gate = cost.prefix_read ? w.reads : w.writes;
+        if (!gate.try_consume()) {
+          ++prefix_slowdowns_;
+          if (o != nullptr) {
+            o->metrics().counter("cluster.prefix_slowdowns").add(1);
+          }
+          throw SlowDownError(cost.prefix_read
+                                  ? "503 SlowDown: prefix read request "
+                                    "rate exceeded"
+                                  : "503 SlowDown: prefix write request "
+                                    "rate exceeded");
+        }
+      }
+    } else if (cost.counts_as_transaction) {
       const sim::TimePoint admission_start = sim_.now();
       bool throttled = false;
       if (cfg_.throttle_mode == ThrottleMode::kReject) {
@@ -598,6 +627,8 @@ class StorageCluster {
   std::int64_t throttle_rejections() const noexcept {
     return account_tx_.rejected();
   }
+  /// Requests rejected with 503 SlowDown (ThrottleMode::kPrefixSlowdown).
+  std::int64_t prefix_slowdowns() const noexcept { return prefix_slowdowns_; }
 
   // Integrity counters (all zero when faults are off).
   /// Uploads rejected at the front-end because the request payload arrived
@@ -947,6 +978,29 @@ class StorageCluster {
   // out and the ticket currently allowed to consume window budget.
   std::uint64_t throttle_next_ticket_ = 0;
   std::uint64_t throttle_front_ = 0;
+
+  // ThrottleMode::kPrefixSlowdown: one read window + one write window per
+  // key prefix, created lazily on first touch (keyed lookups only, never
+  // iterated, so the unordered container cannot affect event order).
+  struct PrefixWindows {
+    PrefixWindows(sim::Simulation& sim, const ClusterConfig& cfg)
+        : reads(sim, cfg.prefix_read_requests_per_sec),
+          writes(sim, cfg.prefix_write_requests_per_sec) {}
+    sim::WindowCounter reads;
+    sim::WindowCounter writes;
+  };
+  PrefixWindows& prefix_windows(std::uint64_t prefix) {
+    auto it = prefix_windows_.find(prefix);
+    if (it == prefix_windows_.end()) {
+      it = prefix_windows_
+               .emplace(prefix, std::make_unique<PrefixWindows>(sim_, cfg_))
+               .first;
+    }
+    return *it->second;
+  }
+  std::unordered_map<std::uint64_t, std::unique_ptr<PrefixWindows>>
+      prefix_windows_;
+  std::int64_t prefix_slowdowns_ = 0;
 
   // Integrity state (quiescent unless a fault plan is armed).
   ReplicaStore store_;

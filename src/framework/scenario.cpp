@@ -561,7 +561,7 @@ bool op_valid(ScenarioMixEntry::Service svc, const std::string& op) {
   if (op == "mixed") return true;
   switch (svc) {
     case S::kBlob:
-      return op == "read" || op == "write";
+      return op == "read" || op == "write" || op == "list" || op == "delete";
     case S::kQueue:
       return op == "put" || op == "get" || op == "peek";
     case S::kTable:
@@ -711,15 +711,60 @@ const char* service_name(ScenarioMixEntry::Service s) noexcept {
   return "?";
 }
 
+const char* backend_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kAzure: return "azure";
+    case BackendKind::kS3: return "s3";
+    case BackendKind::kTiered: return "tiered";
+  }
+  return "?";
+}
+
+BackendCaps backend_caps(BackendKind kind) noexcept {
+  BackendCaps c;
+  switch (kind) {
+    case BackendKind::kAzure:
+      c.throttle_model = "per-account 5,000 tx/s gate (ServerBusy)";
+      break;
+    case BackendKind::kS3:
+      c.has_queues = false;
+      c.has_tables = false;
+      c.has_sql = false;
+      c.consistent_list = false;
+      c.throttle_model = "per-prefix request caps (503 SlowDown)";
+      break;
+    case BackendKind::kTiered:
+      // Listings merge the capacity tier, so they inherit its eventuality.
+      c.consistent_list = false;
+      c.throttle_model =
+          "fast tier: account gate; capacity tier: per-prefix SlowDown";
+      break;
+  }
+  return c;
+}
+
+bool backend_supports(BackendKind kind,
+                      ScenarioMixEntry::Service service) noexcept {
+  const BackendCaps c = backend_caps(kind);
+  switch (service) {
+    case ScenarioMixEntry::Service::kBlob: return c.has_blobs;
+    case ScenarioMixEntry::Service::kQueue: return c.has_queues;
+    case ScenarioMixEntry::Service::kTable: return c.has_tables;
+    case ScenarioMixEntry::Service::kSql: return c.has_sql;
+  }
+  return false;
+}
+
 Scenario parse_scenario(std::string_view text) {
   const JsonNode root = JsonParser(text).parse();
   const std::string path = "scenario";
   expect_object(root, path);
   reject_unknown(root, path,
-                 {"name", "description", "seed", "operations", "read_ratio",
-                  "queue_fanout", "populate", "rows_per_partition",
-                  "max_in_flight", "max_pending", "arrivals", "think", "keys",
-                  "values", "mix", "cluster", "faults", "figure"});
+                 {"name", "description", "seed", "backend", "tier_split_bytes",
+                  "operations", "read_ratio", "queue_fanout", "populate",
+                  "rows_per_partition", "max_in_flight", "max_pending",
+                  "arrivals", "think", "keys", "values", "mix", "cluster",
+                  "faults", "figure"});
 
   Scenario sc;
   sc.name = get_str(root, path, "name", "");
@@ -741,6 +786,27 @@ Scenario parse_scenario(std::string_view text) {
       get_int(root, path, "max_in_flight", sc.max_in_flight, 1, 1'000'000));
   sc.max_pending = static_cast<int>(
       get_int(root, path, "max_pending", sc.max_pending, 0, 10'000'000));
+
+  const std::string backend = get_str(root, path, "backend", "azure");
+  if (backend == "azure") {
+    sc.backend = BackendKind::kAzure;
+  } else if (backend == "s3") {
+    sc.backend = BackendKind::kS3;
+  } else if (backend == "tiered") {
+    sc.backend = BackendKind::kTiered;
+  } else {
+    fail_at(*root.find("backend"), join(path, "backend"),
+            "unknown backend '" + backend + "' (azure | s3 | tiered)");
+  }
+  if (const JsonNode* n = root.find("tier_split_bytes")) {
+    if (sc.backend != BackendKind::kTiered) {
+      fail_at(*n, join(path, "tier_split_bytes"),
+              "tier_split_bytes only applies to backend 'tiered'");
+    }
+    sc.tier_split_bytes =
+        get_int(root, path, "tier_split_bytes", sc.tier_split_bytes, 1,
+                std::int64_t{1} << 32);
+  }
 
   // Per-section default seeds derive from the master seed.
   sc.arrivals.seed = derive_seed(sc.seed, 0x10AD);
@@ -774,8 +840,12 @@ Scenario parse_scenario(std::string_view text) {
   }
   if (fig != nullptr) {
     // Generic-only sections are meaningless in figure mode; rejecting them
-    // beats silently ignoring half a spec.
-    for (const char* key : {"arrivals", "keys", "values", "think"}) {
+    // beats silently ignoring half a spec. The backend key in particular:
+    // figure replays are *defined* by the Azure contract (byte-identical to
+    // the legacy fig binaries), so a non-Azure figure spec is a contradiction.
+    for (const char* key :
+         {"arrivals", "keys", "values", "think", "backend",
+          "tier_split_bytes"}) {
       if (const JsonNode* n = root.find(key)) {
         fail_at(*n, join(path, key),
                 std::string("'") + key +
@@ -792,6 +862,29 @@ Scenario parse_scenario(std::string_view text) {
                         "'figure' (figure-replay mode)");
   }
   bind_mix(*mix, join(path, "mix"), sc.mix);
+
+  // Capability check: every mix entry must name a service the declared
+  // backend actually has. The diagnostic points at the entry's 'service'
+  // token and names the capability flag so the fix is obvious.
+  for (std::size_t i = 0; i < sc.mix.size(); ++i) {
+    if (backend_supports(sc.backend, sc.mix[i].service)) continue;
+    const JsonNode& e = mix->arr[i];
+    const JsonNode* svc = e.find("service");
+    const std::string p =
+        join(path, "mix") + "[" + std::to_string(i) + "]";
+    const char* cap = "?";
+    switch (sc.mix[i].service) {
+      case ScenarioMixEntry::Service::kBlob: cap = "has_blobs"; break;
+      case ScenarioMixEntry::Service::kQueue: cap = "has_queues"; break;
+      case ScenarioMixEntry::Service::kTable: cap = "has_tables"; break;
+      case ScenarioMixEntry::Service::kSql: cap = "has_sql"; break;
+    }
+    fail_at(svc != nullptr ? *svc : e, join(p, "service"),
+            std::string("backend '") + backend_name(sc.backend) + "' has no " +
+                service_name(sc.mix[i].service) + " service (capability " +
+                cap + "=false) — drop the entry or pick a backend that "
+                "serves it");
+  }
 
   // The queue message cap is a hard service limit (48 KiB usable payload);
   // catching it at parse time gives a located diagnostic instead of a

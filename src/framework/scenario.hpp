@@ -71,7 +71,7 @@ struct ScenarioMixEntry {
   enum class Service { kBlob, kQueue, kTable, kSql };
   Service service = Service::kTable;
   /// Validated per service:
-  ///   blob:  read | write | mixed
+  ///   blob:  read | write | list | delete | mixed
   ///   queue: put | get | peek | mixed
   ///   table: read | insert | update | scan | rmw | mixed
   ///   sql:   read | write | mixed
@@ -84,6 +84,45 @@ struct ScenarioMixEntry {
 };
 
 const char* service_name(ScenarioMixEntry::Service s) noexcept;
+
+/// Which simulated storage backend a generic-mode scenario runs against
+/// (spec key "backend"; the driver layer in src/storage maps each kind to a
+/// storage::Driver implementation).
+enum class BackendKind {
+  /// The paper's Azure-style stack: all four services, consistent
+  /// list-after-write, per-account 5,000 tx/s gate (ServerBusyError).
+  kAzure,
+  /// S3-like object store: objects only (no queue/table/sql), eventual
+  /// list-after-write, per-prefix request caps with 503 SlowDown.
+  kS3,
+  /// Tiered placement: objects route by size between an Azure-style fast
+  /// tier and the S3-like capacity tier; queue/table/sql ride the fast
+  /// tier. Listings merge both tiers, so they inherit S3's eventuality.
+  kTiered,
+};
+
+/// What a backend can do — the contract surface the parser validates mix
+/// entries against, and the conformance suite asserts per driver.
+struct BackendCaps {
+  bool has_blobs = true;
+  bool has_queues = true;
+  bool has_tables = true;
+  bool has_sql = true;
+  /// A completed write (or delete) is visible to an immediately following
+  /// list. False = eventual list-after-write (S3-style visibility lag).
+  bool consistent_list = true;
+  /// Human-readable throttle contract, for diagnostics and docs.
+  const char* throttle_model = "";
+};
+
+const char* backend_name(BackendKind kind) noexcept;
+BackendCaps backend_caps(BackendKind kind) noexcept;
+
+/// Whether `kind` serves mix entries of `service` at all. The parser turns
+/// a false here into a located ScenarioError; bench_scenario re-checks it
+/// for --backend overrides.
+bool backend_supports(BackendKind kind,
+                      ScenarioMixEntry::Service service) noexcept;
 
 /// Value (payload) size in bytes: fixed when lo == hi, else uniform in
 /// [lo, hi] drawn from the session's private stream.
@@ -144,6 +183,12 @@ struct Scenario {
   std::uint64_t seed = 0x5CE7A210;
 
   // ------------------------------------------------------- generic mode ----
+  /// Which storage backend serves the mix (spec key "backend": "azure" |
+  /// "s3" | "tiered"). Figure mode is Azure-defined and rejects the key.
+  BackendKind backend = BackendKind::kAzure;
+  /// Tiered backend only: object writes of at least this many bytes land
+  /// on the capacity (S3-like) tier, smaller ones on the fast tier.
+  std::int64_t tier_split_bytes = 256 * 1024;
   /// Total sessions offered (one storage operation each).
   std::int64_t operations = 1'000;
   /// Resolves "mixed" ops: probability that a mixed op is a read.

@@ -1,0 +1,76 @@
+#include "storage/s3_driver.hpp"
+
+#include <utility>
+
+namespace storage {
+namespace {
+
+constexpr const char* kBucket = "b";
+
+faults::FaultConfig fault_config(const framework::Scenario& sc) {
+  faults::FaultConfig fc;
+  fc.seed = sc.faults.seed;
+  fc.drop_probability = sc.faults.drop_probability;
+  fc.duplicate_probability = sc.faults.duplicate_probability;
+  fc.latency_spike_probability = sc.faults.latency_spike_probability;
+  fc.corruption_probability = sc.faults.corruption_probability;
+  fc.server_crashes = sc.faults.server_crashes;
+  return fc;
+}
+
+}  // namespace
+
+cluster::ClusterConfig S3Driver::cluster_config(
+    const framework::Scenario& sc) {
+  cluster::ClusterConfig cc;
+  cc.partition_servers = sc.cluster.partition_servers;
+  cc.balancer.enabled = sc.cluster.balancer;
+  cc.throttle_mode = cluster::ThrottleMode::kPrefixSlowdown;
+  return cc;
+}
+
+S3Driver::S3Driver(sim::Simulation& sim, const framework::Scenario& sc)
+    : fault_plan_(sim, fault_config(sc)),
+      cluster_(sim, cluster_config(sc)),
+      s3_(cluster_, S3ObjectServiceConfig{}),
+      caps_(framework::backend_caps(framework::BackendKind::kS3)) {
+  if (fault_plan_.enabled()) cluster_.enable_faults(fault_plan_);
+}
+
+sim::Task<void> S3Driver::prepare_objects(netsim::Nic& nic) {
+  co_await s3_.create_bucket(nic, kBucket);
+}
+
+sim::Task<OpResult> S3Driver::object_write(netsim::Nic& nic, std::string key,
+                                           std::int64_t bytes) {
+  co_await s3_.put_object(nic, kBucket, std::move(key),
+                          azure::Payload::synthetic(bytes));
+  co_return OpResult{.bytes = bytes};
+}
+
+sim::Task<OpResult> S3Driver::object_read(netsim::Nic& nic, std::string key) {
+  try {
+    const azure::Payload p =
+        co_await s3_.get_object(nic, kBucket, std::move(key));
+    co_return OpResult{.bytes = p.size()};
+  } catch (const NoSuchKeyError&) {
+    co_return OpResult{.miss = true};
+  }
+}
+
+sim::Task<OpResult> S3Driver::object_list(netsim::Nic& nic) {
+  const std::vector<std::string> keys =
+      co_await s3_.list_objects(nic, kBucket);
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  co_return OpResult{.bytes = s3_.config().list_entry_bytes * n, .items = n};
+}
+
+sim::Task<OpResult> S3Driver::object_delete(netsim::Nic& nic,
+                                            std::string key) {
+  // S3 contract: DELETE of an absent key is an idempotent 204 — never a
+  // miss (the Azure backend 404s instead).
+  co_await s3_.delete_object(nic, kBucket, std::move(key));
+  co_return OpResult{};
+}
+
+}  // namespace storage

@@ -1,0 +1,51 @@
+// S3-like backend behind the uniform storage::Driver interface: objects
+// only, eventual list-after-write, idempotent deletes, per-prefix 503
+// SlowDown throttling (its cluster runs ThrottleMode::kPrefixSlowdown and
+// no account gate). Queue/table/sql calls raise CapabilityError via the
+// Driver base.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/storage_cluster.hpp"
+#include "faults/fault_plan.hpp"
+#include "storage/driver.hpp"
+#include "storage/s3_object_service.hpp"
+
+namespace storage {
+
+class S3Driver final : public Driver {
+ public:
+  S3Driver(sim::Simulation& sim, const framework::Scenario& sc);
+
+  const char* name() const noexcept override { return "s3"; }
+  const framework::BackendCaps& caps() const noexcept override {
+    return caps_;
+  }
+
+  cluster::StorageCluster& storage_cluster() noexcept { return cluster_; }
+  S3ObjectService& object_service() noexcept { return s3_; }
+
+  sim::Task<void> prepare_objects(netsim::Nic& nic) override;
+
+  sim::Task<OpResult> object_write(netsim::Nic& nic, std::string key,
+                                   std::int64_t bytes) override;
+  sim::Task<OpResult> object_read(netsim::Nic& nic, std::string key) override;
+  sim::Task<OpResult> object_list(netsim::Nic& nic) override;
+  sim::Task<OpResult> object_delete(netsim::Nic& nic,
+                                    std::string key) override;
+
+  /// Maps the spec's cluster/fault sections onto the S3 cluster shape
+  /// (kPrefixSlowdown; the spec's `throttle: queue` ablation has no S3
+  /// analogue and is ignored by this backend).
+  static cluster::ClusterConfig cluster_config(const framework::Scenario& sc);
+
+ private:
+  faults::FaultPlan fault_plan_;
+  cluster::StorageCluster cluster_;
+  S3ObjectService s3_;
+  framework::BackendCaps caps_;
+};
+
+}  // namespace storage

@@ -356,6 +356,53 @@ TEST(BlobTest, DeleteBlobRemovesIt) {
   });
 }
 
+TEST(BlobTest, DeletedNameIsAbsentFromListingsAndWritable) {
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    co_await c.get_block_blob_reference("a").upload_text(Payload::bytes("1"));
+    co_await c.get_block_blob_reference("b").upload_text(Payload::bytes("2"));
+    co_await c.get_block_blob_reference("a").delete_blob();
+    const auto names = co_await c.list_blobs();
+    EXPECT_EQ(names, (std::vector<std::string>{"b"}));
+    // Re-writing a deleted name resurrects it.
+    co_await c.get_block_blob_reference("a").upload_text(Payload::bytes("3"));
+    const auto back = co_await c.get_block_blob_reference("a").download_text();
+    EXPECT_EQ(back.data(), "3");
+    const auto again = co_await c.list_blobs();
+    EXPECT_EQ(again, (std::vector<std::string>{"a", "b"}));
+  });
+}
+
+TEST(BlobTest, DeleteDuringInFlightReadKeepsTheReaderSafe) {
+  // Regression: delete_blob used to erase the blob's map node while a
+  // download suspended on its replica stream still referenced it — the
+  // reader resumed on a dangling BlobData (crash under the scenario
+  // runner's delete-heavy mixes). Deletes now tombstone the node.
+  TestWorld w;
+  azb_test::run(w, [](TestWorld& t) -> Task<> {
+    auto c = t.account.create_cloud_blob_client().get_container_reference("c");
+    co_await c.create();
+    auto blob = c.get_block_blob_reference("victim");
+    constexpr std::int64_t kSize = 4 << 20;
+    co_await blob.upload_text(Payload::synthetic(kSize));
+    // Reader starts first and suspends streaming the 4 MB body; the
+    // deleter lands while it is in flight.
+    t.sim.spawn([](TestWorld& u) -> Task<> {
+      auto b = u.account.create_cloud_blob_client()
+                   .get_container_reference("c")
+                   .get_block_blob_reference("victim");
+      const Payload p = co_await b.download_text();
+      // The read streams the version it admitted.
+      EXPECT_EQ(p.size(), 4 << 20);
+    }(t));
+    co_await t.sim.delay(sim::millis(1));
+    co_await blob.delete_blob();
+    EXPECT_THROW(co_await blob.download_text(), azure::NotFoundError);
+  });
+}
+
 // ----------------------------------------------------------- timing model ----
 
 TEST(BlobTimingTest, PageUploadFasterThanBlockUploadUnderConcurrency) {

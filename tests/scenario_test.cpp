@@ -488,6 +488,155 @@ TEST(FlagParsingDeathTest, WorkerSweepRejectsNonPositiveWorkers) {
               ::testing::ExitedWithCode(2), "usage error: --workers=0");
 }
 
+using benchutil::DoubleParse;
+using benchutil::parse_double;
+
+TEST(FlagParsing, ParseDoubleIsFullTokenAndFiniteOnly) {
+  double v = -1;
+  EXPECT_EQ(parse_double("1.5", v), DoubleParse::kOk);
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_EQ(parse_double("-0.25", v), DoubleParse::kOk);
+  EXPECT_DOUBLE_EQ(v, -0.25);
+  EXPECT_EQ(parse_double("2e3", v), DoubleParse::kOk);
+  EXPECT_DOUBLE_EQ(v, 2000.0);
+  // Everything strtod/stod quietly tolerated is a typed failure here.
+  EXPECT_EQ(parse_double("", v), DoubleParse::kEmpty);
+  EXPECT_EQ(parse_double("fast", v), DoubleParse::kBadDigit);
+  EXPECT_EQ(parse_double("1.5x", v), DoubleParse::kTrailingJunk);
+  EXPECT_EQ(parse_double("1.5 ", v), DoubleParse::kTrailingJunk);
+  EXPECT_EQ(parse_double("nan", v), DoubleParse::kNotFinite);
+  EXPECT_EQ(parse_double("inf", v), DoubleParse::kNotFinite);
+  EXPECT_EQ(parse_double("1e999", v), DoubleParse::kNotFinite);
+}
+
+TEST(FlagParsing, FlagDoubleCheckedMirrorsTheIntContract) {
+  {
+    // Strict parse, typed error carrying flag and value.
+    std::vector<std::string> args = {"prog", "--rate_scale=fast"};
+    try {
+      (void)benchutil::flag_double_checked(2, make_argv(args), "--rate_scale",
+                                           1.0, 0.001, 1000.0);
+      FAIL() << "expected UsageError";
+    } catch (const UsageError& e) {
+      EXPECT_EQ(e.flag(), "--rate_scale");
+      EXPECT_EQ(e.value(), "fast");
+    }
+  }
+  {
+    // Bounds apply to explicit values...
+    std::vector<std::string> args = {"prog", "--rate_scale=1e6"};
+    EXPECT_THROW((void)benchutil::flag_double_checked(
+                     2, make_argv(args), "--rate_scale", 1.0, 0.001, 1000.0),
+                 UsageError);
+  }
+  {
+    // ...but not to the binary's own fallback.
+    std::vector<std::string> args = {"prog"};
+    EXPECT_DOUBLE_EQ(benchutil::flag_double_checked(
+                         1, make_argv(args), "--rate_scale", 0.0, 0.001,
+                         1000.0),
+                     0.0);
+  }
+  {
+    // First occurrence wins, matching flag_int/flag_value.
+    std::vector<std::string> args = {"prog", "--rate_scale=0.5",
+                                     "--rate_scale=2.0"};
+    EXPECT_DOUBLE_EQ(benchutil::flag_double_checked(
+                         3, make_argv(args), "--rate_scale", 1.0, 0.001,
+                         1000.0),
+                     0.5);
+  }
+}
+
+TEST(FlagParsingDeathTest, FlagDoubleExitsWithUsageErrorOnGarbage) {
+  std::vector<std::string> args = {"prog", "--rate_scale=1.5x"};
+  char** argv = make_argv(args);
+  EXPECT_EXIT((void)benchutil::flag_double(2, argv, "--rate_scale", 1.0,
+                                           0.001, 1000.0),
+              ::testing::ExitedWithCode(2),
+              "usage error: --rate_scale=1.5x");
+}
+
+// ------------------------------------------------- backend declarations --
+
+TEST(ScenarioParser, BackendDefaultsToAzure) {
+  const Scenario sc =
+      parse_scenario(R"({"name":"x","mix":[{"service":"table"}]})");
+  EXPECT_EQ(sc.backend, framework::BackendKind::kAzure);
+}
+
+TEST(ScenarioParser, ParsesEveryKnownBackend) {
+  const std::map<std::string, framework::BackendKind> kinds = {
+      {"azure", framework::BackendKind::kAzure},
+      {"s3", framework::BackendKind::kS3},
+      {"tiered", framework::BackendKind::kTiered}};
+  for (const auto& [name, kind] : kinds) {
+    const Scenario sc = parse_scenario(
+        R"({"name":"x","backend":")" + name +
+        R"(","mix":[{"service":"blob"}]})");
+    EXPECT_EQ(sc.backend, kind) << name;
+    EXPECT_STREQ(framework::backend_name(sc.backend), name.c_str());
+  }
+}
+
+TEST(ScenarioParser, RejectsUnknownBackendWithLocation) {
+  expect_error("{\n  \"name\": \"x\",\n  \"backend\": \"gcs\",\n"
+               "  \"mix\": [{\"service\": \"blob\"}]\n}",
+               "scenario.backend", "unknown backend 'gcs'", 3);
+}
+
+TEST(ScenarioParser, CapabilityMismatchNamesBackendServiceAndFlag) {
+  // The s3-like backend has no queue service; the diagnostic must anchor at
+  // the offending mix entry's 'service' token and name the capability flag.
+  expect_error("{\n  \"name\": \"x\",\n  \"backend\": \"s3\",\n"
+               "  \"mix\": [\n    {\"service\": \"blob\"},\n"
+               "    {\"service\": \"queue\"}\n  ]\n}",
+               "scenario.mix[1].service", "has no queue service", 6);
+  expect_error(R"({"name":"x","backend":"s3","mix":[{"service":"sql"}]})",
+               "scenario.mix[0].service", "has_sql=false");
+}
+
+TEST(ScenarioParser, RejectsTierSplitBytesOnNonTieredBackend) {
+  expect_error(R"({"name":"x","backend":"s3","tier_split_bytes":65536,)"
+               R"("mix":[{"service":"blob"}]})",
+               "scenario.tier_split_bytes",
+               "only applies to backend 'tiered'");
+  // And on the default (azure) backend, not just an explicit non-tiered one.
+  expect_error(R"({"name":"x","tier_split_bytes":65536,)"
+               R"("mix":[{"service":"blob"}]})",
+               "scenario.tier_split_bytes",
+               "only applies to backend 'tiered'");
+}
+
+TEST(ScenarioParser, TieredBackendAcceptsTierSplitBytes) {
+  const Scenario sc = parse_scenario(
+      R"({"name":"x","backend":"tiered","tier_split_bytes":65536,)"
+      R"("mix":[{"service":"blob"}]})");
+  EXPECT_EQ(sc.backend, framework::BackendKind::kTiered);
+  EXPECT_EQ(sc.tier_split_bytes, 65536);
+}
+
+TEST(ScenarioParser, BackendCapsMatrixMatchesTheDesignContract) {
+  using framework::BackendKind;
+  const framework::BackendCaps azure =
+      framework::backend_caps(BackendKind::kAzure);
+  EXPECT_TRUE(azure.has_queues);
+  EXPECT_TRUE(azure.has_tables);
+  EXPECT_TRUE(azure.has_sql);
+  EXPECT_TRUE(azure.consistent_list);
+  const framework::BackendCaps s3 = framework::backend_caps(BackendKind::kS3);
+  EXPECT_TRUE(s3.has_blobs);
+  EXPECT_FALSE(s3.has_queues);
+  EXPECT_FALSE(s3.has_tables);
+  EXPECT_FALSE(s3.has_sql);
+  EXPECT_FALSE(s3.consistent_list);
+  const framework::BackendCaps tiered =
+      framework::backend_caps(BackendKind::kTiered);
+  EXPECT_TRUE(tiered.has_queues);
+  // Merged listings inherit the capacity tier's eventuality.
+  EXPECT_FALSE(tiered.consistent_list);
+}
+
 // ------------------------------------------------------------ replay ------
 
 const char* kReplaySpec = R"({
